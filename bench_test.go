@@ -1,0 +1,288 @@
+package repro
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Section 8), plus ablations of the design choices called
+// out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute cycle counts come from the calibrated cost models in
+// internal/sim; the claims under test are the shapes: who wins, by what
+// factor, and where the curves bend.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/petri"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+var (
+	pfcOnce sync.Once
+	pfcRes  *core.Result
+	pfcErr  error
+)
+
+func pfcSynth(b *testing.B) *core.Result {
+	b.Helper()
+	pfcOnce.Do(func() {
+		pfcRes, pfcErr = apps.SynthesizePFC()
+	})
+	if pfcErr != nil {
+		b.Fatalf("synthesize pfc: %v", pfcErr)
+	}
+	return pfcRes
+}
+
+var printOnce sync.Once
+
+// BenchmarkFigure20 regenerates Figure 20: execution time of the 4-task
+// implementation vs channel buffer size under the three compiler-option
+// cost models, with the single-task points (row "task").
+func BenchmarkFigure20(b *testing.B) {
+	r := pfcSynth(b)
+	caps := []int{1, 2, 5, 10, 20, 50, 100}
+	var pts []sim.Fig20Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = sim.Figure20(r, 10, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce.Do(func() {
+		sim.PrintFigure20(os.Stdout, pts)
+	})
+	// Shape assertions: monotone improvement with capacity; task wins.
+	byModel := map[string][]sim.Fig20Point{}
+	for _, p := range pts {
+		byModel[p.Model] = append(byModel[p.Model], p)
+	}
+	for model, series := range byModel {
+		var taskCycles int64
+		for _, p := range series {
+			if p.Capacity == 0 {
+				taskCycles = p.Cycles
+			}
+		}
+		for _, p := range series {
+			if p.Capacity > 0 && p.Cycles <= taskCycles {
+				b.Fatalf("%s cap %d: baseline %d should lose to task %d", model, p.Capacity, p.Cycles, taskCycles)
+			}
+		}
+	}
+}
+
+var table1Once sync.Once
+
+// BenchmarkTable1 regenerates Table 1: kcycles for frame counts 10..1000
+// (4-process buffers = 100), expecting flat ratios around 4-5x.
+func BenchmarkTable1(b *testing.B) {
+	r := pfcSynth(b)
+	frameCounts := []int{10, 50, 100, 500, 1000}
+	var rows []sim.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.Table1(r, frameCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	table1Once.Do(func() {
+		sim.PrintTable1(os.Stdout, rows)
+	})
+	for _, row := range rows {
+		for model, ratio := range row.Ratio {
+			if ratio < 2.5 || ratio > 8 {
+				b.Fatalf("frames %d %s: ratio %.2f out of shape", row.Frames, model, ratio)
+			}
+		}
+	}
+}
+
+var table2Once sync.Once
+
+// BenchmarkTable2 regenerates Table 2: code size of the single task vs
+// the four separate tasks with inlined communication primitives.
+func BenchmarkTable2(b *testing.B) {
+	r := pfcSynth(b)
+	var rows []sim.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table2(r)
+	}
+	table2Once.Do(func() {
+		sim.PrintTable2(os.Stdout, rows)
+	})
+	for _, row := range rows {
+		if row.Ratio < 4 || row.Ratio > 12 {
+			b.Fatalf("%s: size ratio %.1f out of shape", row.Model, row.Ratio)
+		}
+	}
+}
+
+// BenchmarkSynthesisPFC measures the full compile-link-schedule-codegen
+// flow on the video application (the paper reports "less than a minute";
+// the graph engine is far below that).
+func BenchmarkSynthesisPFC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.SynthesizePFC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselinePerFrame measures baseline execution cost per frame.
+func BenchmarkBaselinePerFrame(b *testing.B) {
+	r := pfcSynth(b)
+	for _, cost := range sim.Presets() {
+		b.Run(cost.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunBaselinePFC(r, sim.Workload{Frames: 10}, 100, cost, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTaskPerFrame measures synthesized-task execution per frame.
+func BenchmarkTaskPerFrame(b *testing.B) {
+	r := pfcSynth(b)
+	for _, cost := range sim.Presets() {
+		b.Run(cost.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunTaskPFC(r, sim.Workload{Frames: 10}, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// dividerNet rebuilds the Figure 7 divider chain for the termination
+// ablation.
+func dividerNet(k int) *petri.Net {
+	n := petri.New("fig7")
+	p1 := n.AddPlace("p1", petri.PlaceChannel, 0)
+	p2 := n.AddPlace("p2", petri.PlaceChannel, 0)
+	p3 := n.AddPlace("p3", petri.PlaceChannel, 0)
+	p4 := n.AddPlace("p4", petri.PlaceChannel, 0)
+	a := n.AddTransition("a", petri.TransSourceUnc)
+	bt := n.AddTransition("b", petri.TransNormal)
+	c := n.AddTransition("c", petri.TransNormal)
+	d := n.AddTransition("d", petri.TransNormal)
+	e := n.AddTransition("e", petri.TransNormal)
+	n.AddArcTP(a, p1, 1)
+	n.AddArc(p1, bt, k)
+	n.AddArcTP(bt, p2, 1)
+	n.AddArc(p2, c, k)
+	n.AddArcTP(c, p3, 1)
+	n.AddArc(p3, d, 1)
+	n.AddArcTP(d, p4, k-1)
+	n.AddArc(p4, e, 1)
+	return n
+}
+
+// BenchmarkIrrelevanceVsBounds is the Figure 7 ablation: the irrelevance
+// criterion schedules the k-divider chain for every k while uniform
+// place bounds below k always fail.
+func BenchmarkIrrelevanceVsBounds(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("irrelevance/k=%d", k), func(b *testing.B) {
+			n := dividerNet(k)
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.FindSchedule(n, 0, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bounds/k=%d", k), func(b *testing.B) {
+			n := dividerNet(k)
+			opt := &sched.Options{Term: sched.UniformBounds(n, k-1)}
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.FindSchedule(n, 0, opt); err == nil {
+					b.Fatal("bounded search should fail below k")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngines compares the three schedule-search engines on the
+// Figure 8 net (the ablation for the graph-engine design choice).
+func BenchmarkEngines(b *testing.B) {
+	n := fig8BenchNet()
+	for _, eng := range []struct {
+		name string
+		e    sched.Engine
+	}{
+		{"graph", sched.EngineGraph},
+		{"tree-greedy", sched.EngineTreeGreedy},
+		{"tree-exhaustive", sched.EngineTreeExhaustive},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			opt := &sched.Options{Engine: eng.e}
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.FindSchedule(n, 0, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fig8BenchNet() *petri.Net {
+	n := petri.New("fig8")
+	p1 := n.AddPlace("p1", petri.PlaceChannel, 0)
+	p2 := n.AddPlace("p2", petri.PlaceChannel, 0)
+	p3 := n.AddPlace("p3", petri.PlaceChannel, 0)
+	a := n.AddTransition("a", petri.TransSourceUnc)
+	bt := n.AddTransition("b", petri.TransNormal)
+	c := n.AddTransition("c", petri.TransNormal)
+	d := n.AddTransition("d", petri.TransNormal)
+	e := n.AddTransition("e", petri.TransNormal)
+	n.AddArcTP(a, p1, 1)
+	n.AddArc(p1, bt, 1)
+	n.AddArcTP(bt, p2, 1)
+	n.AddArc(p1, c, 1)
+	n.AddArcTP(c, p3, 1)
+	n.AddArc(p2, d, 1)
+	n.AddArc(p3, e, 2)
+	n.AddArcTP(e, p1, 1)
+	return n
+}
+
+// BenchmarkHeuristicAblation compares the T-invariant ECS ordering
+// against the naive ordering in the exhaustive tree engine (Section
+// 5.5.2's motivation: fewer nodes explored).
+func BenchmarkHeuristicAblation(b *testing.B) {
+	n := fig8BenchNet()
+	b.Run("tinvariant-order", func(b *testing.B) {
+		var nodes int
+		for i := 0; i < b.N; i++ {
+			s, err := sched.FindSchedule(n, 0, &sched.Options{Engine: sched.EngineTreeExhaustive})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = s.Stats.NodesCreated
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	})
+	b.Run("naive-order", func(b *testing.B) {
+		var nodes int
+		for i := 0; i < b.N; i++ {
+			s, err := sched.FindSchedule(n, 0, &sched.Options{Engine: sched.EngineTreeExhaustive, Order: sched.NaiveOrder{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = s.Stats.NodesCreated
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	})
+}

@@ -1,0 +1,69 @@
+// Command pfcbench regenerates the paper's evaluation on the PFC video
+// application: Figure 20 (-fig20), Table 1 (-table1) and Table 2
+// (-table2); -all runs everything.
+//
+// Usage:
+//
+//	pfcbench [-fig20] [-table1] [-table2] [-all] [-frames N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig20 := flag.Bool("fig20", false, "regenerate Figure 20 (buffer-size sweep)")
+	table1 := flag.Bool("table1", false, "regenerate Table 1 (frame-count sweep)")
+	table2 := flag.Bool("table2", false, "regenerate Table 2 (code size)")
+	all := flag.Bool("all", false, "regenerate everything")
+	frames := flag.Int("frames", 10, "frames for Figure 20")
+	flag.Parse()
+	if *all {
+		*fig20, *table1, *table2 = true, true, true
+	}
+	if !*fig20 && !*table1 && !*table2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	res, err := apps.SynthesizePFC()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("synthesized pfc: schedule %d nodes, %d segments, all channel bounds = 1\n\n",
+		len(res.Schedules[0].Nodes), len(res.Tasks[0].Segments))
+	if *fig20 {
+		pts, err := sim.Figure20(res, *frames, []int{1, 2, 5, 10, 20, 50, 100})
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.PrintFigure20(os.Stdout, pts); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table1 {
+		rows, err := sim.Table1(res, []int{10, 50, 100, 500, 1000})
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.PrintTable1(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table2 {
+		if err := sim.PrintTable2(os.Stdout, sim.Table2(res)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pfcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command qss runs the complete quasi-static software synthesis flow:
+// FlowC processes + netlist → linked Petri net → one schedule per
+// uncontrollable input → generated C tasks with statically guaranteed
+// channel bounds.
+//
+// Usage:
+//
+//	qss -flowc processes.flc -net system.net [-out dir] [-schedule] [-dot] [-bounds]
+//
+// Generated C goes to <out>/<task>.c (default: stdout). -schedule prints
+// the schedules, -dot writes <out>/<task>.dot, -bounds lists the channel
+// buffer sizes the schedules guarantee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+func main() {
+	flowcPath := flag.String("flowc", "", "FlowC source file (required)")
+	netPath := flag.String("net", "", "netlist file in the system format (required)")
+	outDir := flag.String("out", "", "output directory for generated files (default: stdout)")
+	showSched := flag.Bool("schedule", false, "print the computed schedules")
+	emitDot := flag.Bool("dot", false, "write schedule DOT files (requires -out)")
+	showBounds := flag.Bool("bounds", true, "print the guaranteed channel bounds")
+	flag.Parse()
+	if *flowcPath == "" || *netPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	flowcSrc, err := os.ReadFile(*flowcPath)
+	if err != nil {
+		fatal(err)
+	}
+	netSrc, err := os.ReadFile(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Synthesize(string(flowcSrc), string(netSrc), nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("system %s: %d processes, %d places, %d transitions, %d task(s)\n",
+		res.Sys.Name, len(res.Procs), len(res.Sys.Net.Places), len(res.Sys.Net.Transitions), len(res.Tasks))
+	for i, s := range res.Schedules {
+		fmt.Printf("task %s: schedule %d nodes (%d await), %d segments, %d explored states\n",
+			res.Tasks[i].Name, len(s.Nodes), len(s.AwaitNodes()),
+			len(res.Tasks[i].Segments), s.Stats.NodesCreated)
+		if *showSched {
+			if err := s.Format(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *showBounds {
+		fmt.Println("guaranteed channel bounds:")
+		for _, ch := range res.Sys.Channels {
+			fmt.Printf("  %-12s %d\n", ch.Spec.Name, res.Bounds[ch.Place.ID])
+		}
+	}
+	for name, code := range res.Code {
+		if *outDir == "" {
+			fmt.Printf("\n/* ==== %s.c ==== */\n%s", name, code)
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, name+".c"), []byte(code), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(*outDir, name+".c"))
+	}
+	if *emitDot && *outDir != "" {
+		for i, s := range res.Schedules {
+			path := filepath.Join(*outDir, res.Tasks[i].Name+".dot")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := s.Dot(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qss:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Task Generation and Compile-Time Scheduling
+// for Mixed Data-Control Embedded Software" (Cortadella et al., DAC
+// 2000): a complete quasi-static scheduling flow from FlowC process
+// networks to synthesized software tasks, plus the simulation substrate
+// that regenerates the paper's evaluation.
+//
+// The implementation lives under internal/ (petri, flowc, compile, link,
+// sched, codegen, sim, core); command-line tools under cmd/; runnable
+// examples under examples/. The root holds the benchmark harness for the
+// paper's tables and figures (bench_test.go).
+package repro

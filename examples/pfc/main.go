@@ -1,0 +1,72 @@
+// PFC: the industrial video application of Section 8.2 (Figure 18).
+// Synthesizes the four concurrent processes (controller, producer,
+// filter, consumer) into one task with unit-size channel buffers,
+// verifies functional equivalence against the 4-process round-robin
+// implementation, and prints a miniature performance comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+func main() {
+	res, err := apps.SynthesizePFC()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthesis failed:", err)
+		os.Exit(1)
+	}
+	s := res.Schedules[0]
+	fmt.Printf("synthesized single task from %d processes\n", len(res.Procs))
+	fmt.Printf("schedule: %d nodes (%d await), %d code segments\n",
+		len(s.Nodes), len(s.AwaitNodes()), len(res.Tasks[0].Segments))
+	fmt.Println("channel bounds (all unit size, as in the paper):")
+	for _, ch := range res.Sys.Channels {
+		fmt.Printf("  %-6s %d\n", ch.Spec.Name, res.Bounds[ch.Place.ID])
+	}
+
+	// Functional equivalence on a short run.
+	const frames = 4
+	b := sim.NewBaseline(res.Sys, sim.PFC, 10)
+	for f := 0; f < frames; f++ {
+		b.Input("init").Push(int64(f))
+		b.Input("cin").Push(int64(f%8 + 1))
+	}
+	baseCycles, err := b.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline failed:", err)
+		os.Exit(1)
+	}
+	te, err := sim.NewTaskExec(res.Sys, res.Tasks[0], sim.PFC)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for f := 0; f < frames; f++ {
+		te.Input("cin").Push(int64(f%8 + 1))
+		if err := te.Trigger(int64(f)); err != nil {
+			fmt.Fprintln(os.Stderr, "trigger failed:", err)
+			os.Exit(1)
+		}
+	}
+	got, want := te.Output("display").Vals, b.Output("display").Vals
+	same := len(got) == len(want)
+	for i := 0; same && i < len(got); i++ {
+		same = got[i] == want[i]
+	}
+	fmt.Printf("\n%d frames, %d pixels: outputs identical = %v\n", frames, len(got), same)
+	fmt.Printf("4 processes (buffers=10): %8d cycles\n", baseCycles)
+	fmt.Printf("single task (buffers=1):  %8d cycles (%.1fx faster)\n",
+		te.Machine.Cycles, float64(baseCycles)/float64(te.Machine.Cycles))
+
+	// Code size per Table 2's methodology.
+	sm := sim.SizePFC
+	total, _ := sm.BaselineSize(res.Sys, true)
+	task := sm.TaskSize(res.Tasks[0], res.Sys)
+	fmt.Printf("code size: task %d bytes vs 4 processes %d bytes (%.1fx smaller)\n",
+		task, total, float64(total)/float64(task))
+	fmt.Println("\nrun 'go run ./cmd/pfcbench -all' for the full Figure 20 / Table 1 / Table 2 sweep")
+}

@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestDivisorsSynthesis(t *testing.T) {
+	r, err := SynthesizeDivisors()
+	if err != nil {
+		t.Fatalf("divisors: %v", err)
+	}
+	if len(r.Tasks) != 1 {
+		t.Fatalf("tasks = %d, want 1", len(r.Tasks))
+	}
+	code := r.Code[r.Tasks[0].Name]
+	if !strings.Contains(code, "divisors_n") {
+		t.Errorf("generated code should use uniquified variable names:\n%s", code)
+	}
+}
+
+func TestPixelPipeSynthesis(t *testing.T) {
+	r, err := SynthesizePixelPipe()
+	if err != nil {
+		t.Fatalf("pixelpipe: %v", err)
+	}
+	// One task (single uncontrollable input), unit channel bounds.
+	if len(r.Tasks) != 1 {
+		t.Fatalf("tasks = %d, want 1", len(r.Tasks))
+	}
+	for _, name := range []string{"Pix", "Eol"} {
+		if got := r.ChannelBound(name); got != 1 {
+			t.Errorf("channel %s bound = %d, want 1 (unit-size buffers)", name, got)
+		}
+	}
+	t.Logf("schedule nodes: %d (explored %d)", len(r.Schedules[0].Nodes), r.Schedules[0].Stats.NodesCreated)
+}
+
+func TestFalsePathPlainRejected(t *testing.T) {
+	if _, err := TryFalsePathPlain(); err == nil {
+		t.Fatalf("plain false-path pair should be rejected by the conservative scheduler")
+	} else if !strings.Contains(err.Error(), sched.ErrNoSchedule.Error()) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+}
+
+func TestFalsePathFixedSchedulable(t *testing.T) {
+	r, err := SynthesizeFalsePathFixed()
+	if err != nil {
+		t.Fatalf("fixed pair should schedule: %v", err)
+	}
+	t.Logf("schedule nodes: %d (explored %d)", len(r.Schedules[0].Nodes), r.Schedules[0].Stats.NodesCreated)
+}
+
+func TestPFCSynthesis(t *testing.T) {
+	r, err := SynthesizePFC()
+	if err != nil {
+		t.Fatalf("pfc: %v", err)
+	}
+	if len(r.Tasks) != 1 {
+		t.Fatalf("tasks = %d, want 1 (single uncontrollable input)", len(r.Tasks))
+	}
+	// The paper: "our proposed algorithm generated, in less than a
+	// minute, a single task with all the channels of unit size."
+	for _, ch := range r.Sys.Channels {
+		if got := r.Bounds[ch.Place.ID]; got != 1 {
+			t.Errorf("channel %s bound = %d, want 1", ch.Spec.Name, got)
+		}
+	}
+	t.Logf("schedule nodes: %d (explored %d)", len(r.Schedules[0].Nodes), r.Schedules[0].Stats.NodesCreated)
+	t.Logf("segments: %d", len(r.Tasks[0].Segments))
+}
+
+func TestMultiRateSynthesis(t *testing.T) {
+	r, err := SynthesizeMultiRate()
+	if err != nil {
+		t.Fatalf("multirate: %v", err)
+	}
+	// The line channel must be sized for the 10-pixel burst.
+	if got := r.ChannelBound("Line"); got != 10 {
+		t.Errorf("Line bound = %d, want 10 (one full line)", got)
+	}
+	t.Logf("schedule nodes: %d", len(r.Schedules[0].Nodes))
+}

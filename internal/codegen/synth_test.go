@@ -1,0 +1,171 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/flowc"
+	"repro/internal/link"
+	"repro/internal/sched"
+)
+
+// synthesizePipe builds a small FlowC system and generates its task.
+func synthesizePipe(t *testing.T, flowcSrc string, spec *link.Spec) (*Task, *link.System, string) {
+	t.Helper()
+	f, err := flowc.ParseFile(flowcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procs []*compile.CompiledProcess
+	for _, p := range f.Processes {
+		cp, err := compile.CompileProcess(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cp)
+	}
+	sys, err := link.Link(procs, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.FindSchedule(sys.Net, sys.Net.UncontrollableSources()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := Generate(s, "task_go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := Synthesize(task, &SynthOptions{Sys: sys})
+	return task, sys, code
+}
+
+const pipeSrc = `
+PROCESS w (In DPORT go, Out DPORT out) {
+  int v;
+  while (1) {
+    READ_DATA(go, &v, 1);
+    WRITE_DATA(out, v * 2, 1);
+  }
+}
+
+PROCESS r (In DPORT in, Out DPORT res) {
+  int v;
+  while (1) {
+    READ_DATA(in, &v, 1);
+    WRITE_DATA(res, v + 1, 1);
+  }
+}
+`
+
+func pipeSpec() *link.Spec {
+	return &link.Spec{
+		Name:     "pipe",
+		Channels: []link.ChannelSpec{{Name: "C", From: "w.out", To: "r.in"}},
+		Inputs:   []link.InputSpec{{Name: "go", To: "w.go"}},
+		Outputs:  []link.OutputSpec{{Name: "res", From: "r.res"}},
+	}
+}
+
+func TestSynthesizeFlowCTask(t *testing.T) {
+	task, sys, code := synthesizePipe(t, pipeSrc, pipeSpec())
+	// The intra-task channel collapses into a plain variable (size 1).
+	intra := task.IntraChannels(&SynthOptions{Sys: sys})
+	if len(intra) != 1 {
+		t.Fatalf("intra channels = %v, want 1", intra)
+	}
+	for _, sz := range intra {
+		if sz != 1 {
+			t.Errorf("intra buffer size = %d, want 1", sz)
+		}
+	}
+	for _, want := range []string{
+		"int BUF_C;",             // unit buffer becomes a variable
+		"BUF_C = ",               // write side
+		"r_v = BUF_C;",           // read side, uniquified name
+		"READ_DATA(go, &w_v, 1)", // environment port keeps the primitive
+		"WRITE_DATA(res, ",       // environment output keeps the primitive
+		"task_go_init",
+		"task_go_ISR",
+		"return;",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q:\n%s", want, code)
+		}
+	}
+	if strings.Contains(code, "goto") {
+		// Straight-line pipeline: a single thread, no state jumps.
+		t.Logf("note: pipeline generated gotos:\n%s", code)
+	}
+}
+
+func TestSynthesizeDataChoiceCode(t *testing.T) {
+	src := `
+PROCESS w (In DPORT go, Out DPORT out) {
+  int v;
+  while (1) {
+    READ_DATA(go, &v, 1);
+    if (v > 0) {
+      WRITE_DATA(out, v, 1);
+    } else {
+      WRITE_DATA(out, 0 - v, 1);
+    }
+  }
+}
+`
+	spec := &link.Spec{
+		Name:    "abs",
+		Inputs:  []link.InputSpec{{Name: "go", To: "w.go"}},
+		Outputs: []link.OutputSpec{{Name: "res", From: "w.out"}},
+	}
+	_, _, code := synthesizePipe(t, src, spec)
+	// The data choice becomes an if/else on the real condition with
+	// uniquified variables.
+	if !strings.Contains(code, "if ((w_v > 0))") {
+		t.Errorf("missing data-choice condition:\n%s", code)
+	}
+	if !strings.Contains(code, "} else {") && !strings.Contains(code, "else {") {
+		t.Errorf("missing else branch:\n%s", code)
+	}
+}
+
+func TestSynthesizeSharedChannelStaysPrimitive(t *testing.T) {
+	// When the channel is declared shared, the task must keep the
+	// communication primitive instead of collapsing it.
+	f, err := flowc.ParseFile(pipeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procs []*compile.CompiledProcess
+	for _, p := range f.Processes {
+		cp, err := compile.CompileProcess(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cp)
+	}
+	sys, err := link.Link(procs, pipeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.FindSchedule(sys.Net, sys.Net.UncontrollableSources()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := Generate(s, "task_go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chPlace int
+	for _, ch := range sys.Channels {
+		chPlace = ch.Place.ID
+	}
+	code := Synthesize(task, &SynthOptions{Sys: sys, SharedChannels: map[int]bool{chPlace: true}})
+	if strings.Contains(code, "BUF_C") {
+		t.Errorf("shared channel collapsed:\n%s", code)
+	}
+	if !strings.Contains(code, "READ_DATA(C,") {
+		t.Errorf("shared channel should keep the primitive:\n%s", code)
+	}
+}

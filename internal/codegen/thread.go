@@ -1,0 +1,95 @@
+package codegen
+
+import (
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Thread is one reaction of the task (Section 6.1): starting from an
+// await node, the statements executed until the next await node — here
+// summarized as the directed graph of code segments the reaction can
+// traverse, matching the per-thread graphs of Figure 15.
+type Thread struct {
+	// Start is the await node this thread serves.
+	Start *sched.Node
+	// Segments lists the indices of the code segments the thread can
+	// execute, ascending; the entry segment (cs1) is always included.
+	Segments []int
+	// Edges lists observed segment-to-segment transfers (goto targets),
+	// as [from, to] pairs in deterministic order.
+	Edges [][2]int
+}
+
+// Threads extracts the thread structure of the task: one thread per
+// await node of the schedule. The union of all threads covers every
+// code segment (each reaction starts in cs1, the segment holding the
+// source ECS).
+func (t *Task) Threads() []Thread {
+	s := t.Schedule
+	segIdxOf := map[int]int{} // ECS index -> containing segment index
+	for _, seg := range t.Segments {
+		var walk func(n *SegNode)
+		walk = func(n *SegNode) {
+			segIdxOf[n.ECS.Index] = seg.Index
+			for _, e := range n.Edges {
+				if e.Child != nil {
+					walk(e.Child)
+				}
+			}
+		}
+		walk(seg.Root)
+	}
+	var out []Thread
+	for _, start := range s.AwaitNodes() {
+		th := Thread{Start: start}
+		segs := map[int]bool{}
+		edges := map[[2]int]bool{}
+		seen := map[int]bool{}
+		// Traverse from the await node's successor until await nodes,
+		// recording segment transfers.
+		var visit func(n *sched.Node, curSeg int)
+		visit = func(n *sched.Node, curSeg int) {
+			if seen[n.ID] {
+				return
+			}
+			seen[n.ID] = true
+			e := t.ECSIdx[n.Edges[0].Trans]
+			seg := segIdxOf[e]
+			segs[seg] = true
+			if seg != curSeg && curSeg >= 0 {
+				edges[[2]int{curSeg, seg}] = true
+			}
+			if s.IsAwait(n) && n != start {
+				return
+			}
+			for _, ed := range n.Edges {
+				next := ed.To
+				if s.IsAwait(next) {
+					// Record entry into the next thread's cs1 without
+					// traversing it.
+					continue
+				}
+				visit(next, seg)
+			}
+		}
+		// The await node itself belongs to cs1 (the source ECS).
+		segs[segIdxOf[t.ECSIdx[s.Source]]] = true
+		visit(start.Edges[0].To, segIdxOf[t.ECSIdx[s.Source]])
+		for k := range segs {
+			th.Segments = append(th.Segments, k)
+		}
+		sort.Ints(th.Segments)
+		for k := range edges {
+			th.Edges = append(th.Edges, k)
+		}
+		sort.Slice(th.Edges, func(i, j int) bool {
+			if th.Edges[i][0] != th.Edges[j][0] {
+				return th.Edges[i][0] < th.Edges[j][0]
+			}
+			return th.Edges[i][1] < th.Edges[j][1]
+		})
+		out = append(out, th)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package codegen
+
+import "testing"
+
+func TestFig15Threads(t *testing.T) {
+	task := fig8Task(t)
+	threads := task.Threads()
+	// Two await nodes (markings 0 and p3) -> two threads.
+	if len(threads) != 2 {
+		t.Fatalf("threads = %d, want 2 (Figure 15)", len(threads))
+	}
+	// Identify the threads by their starting marking.
+	var th1, th2 *Thread
+	for i := range threads {
+		if threads[i].Start.Marking.Total() == 0 {
+			th1 = &threads[i]
+		} else {
+			th2 = &threads[i]
+		}
+	}
+	if th1 == nil || th2 == nil {
+		t.Fatalf("could not identify TH1/TH2: %+v", threads)
+	}
+	segLabel := func(idx int) string { return task.Segments[idx].Label }
+	has := func(th *Thread, label string) bool {
+		for _, s := range th.Segments {
+			if segLabel(s) == label {
+				return true
+			}
+		}
+		return false
+	}
+	// TH1 (from the initial marking): cs1 and cs3 only — the reaction
+	// either returns directly (b,d) or parks at p3 (c).
+	if !has(th1, "a") || !has(th1, "bc") {
+		t.Errorf("TH1 should contain segments a and bc: %+v", th1.Segments)
+	}
+	if has(th1, "e") {
+		t.Errorf("TH1 should not reach segment e")
+	}
+	// TH2 (from p3): passes through cs2 (e) as in Figure 15.
+	if !has(th2, "a") || !has(th2, "bc") || !has(th2, "e") {
+		t.Errorf("TH2 should contain a, bc and e: %+v", th2.Segments)
+	}
+	// TH2 has a bc -> e edge (the goto e of Figure 16).
+	var bcIdx, eIdx int
+	for _, seg := range task.Segments {
+		switch seg.Label {
+		case "bc":
+			bcIdx = seg.Index
+		case "e":
+			eIdx = seg.Index
+		}
+	}
+	found := false
+	for _, e := range th2.Edges {
+		if e == [2]int{bcIdx, eIdx} {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TH2 edges %v missing bc->e", th2.Edges)
+	}
+}

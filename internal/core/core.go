@@ -1,0 +1,174 @@
+// Package core is the end-to-end facade of the synthesis flow: FlowC
+// sources + netlist → compiled Petri nets → linked system net →
+// quasi-static schedules (one per uncontrollable input) → software tasks
+// with generated C code and statically guaranteed channel bounds.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/compile"
+	"repro/internal/flowc"
+	"repro/internal/link"
+	"repro/internal/petri"
+	"repro/internal/sched"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// Sched configures the schedule search (termination condition,
+	// heuristics); nil uses the paper's defaults (irrelevance criterion
+	// + T-invariant ordering).
+	Sched *sched.Options
+	// SkipIndependence disables the independence verification of the
+	// schedule set (Prop. 4.3 makes it redundant for FlowC-derived
+	// UCPNs, but SELECT voids the guarantee, so the default is to check).
+	SkipIndependence bool
+}
+
+// Result is the outcome of the full flow.
+type Result struct {
+	File      *flowc.File
+	Procs     []*compile.CompiledProcess
+	Sys       *link.System
+	Schedules []*sched.Schedule
+	Tasks     []*codegen.Task
+	// Code maps task names to generated C source.
+	Code map[string]string
+	// Bounds are the per-place token bounds over all schedules; for
+	// channel places this is the statically guaranteed buffer size.
+	Bounds []int
+	// SharedChannels lists channel place IDs used by more than one task.
+	SharedChannels map[int]bool
+}
+
+// TaskByName returns a generated task, or nil.
+func (r *Result) TaskByName(name string) *codegen.Task {
+	for _, t := range r.Tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// ChannelBound returns the statically guaranteed buffer size of a
+// channel, by name.
+func (r *Result) ChannelBound(name string) int {
+	for _, ch := range r.Sys.Channels {
+		if ch.Spec.Name == name {
+			return r.Bounds[ch.Place.ID]
+		}
+	}
+	return -1
+}
+
+// Synthesize runs the full flow on FlowC source text and a netlist in
+// the textual system format.
+func Synthesize(flowcSrc, specSrc string, opt *Options) (*Result, error) {
+	f, err := flowc.ParseFile(flowcSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse FlowC: %w", err)
+	}
+	spec, err := link.ParseSpec(strings.NewReader(specSrc))
+	if err != nil {
+		return nil, fmt.Errorf("core: parse netlist: %w", err)
+	}
+	return SynthesizeSystem(f, spec, opt)
+}
+
+// SynthesizeSystem runs the flow on parsed inputs.
+func SynthesizeSystem(f *flowc.File, spec *link.Spec, opt *Options) (*Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := flowc.CheckFile(f); err != nil {
+		return nil, fmt.Errorf("core: check: %w", err)
+	}
+	res := &Result{File: f, Code: map[string]string{}}
+	for _, p := range f.Processes {
+		cp, err := compile.CompileProcess(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile: %w", err)
+		}
+		res.Procs = append(res.Procs, cp)
+	}
+	sys, err := link.Link(res.Procs, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.Sys = sys
+
+	sources := sys.Net.UncontrollableSources()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: system %s has no uncontrollable inputs; nothing triggers a task", spec.Name)
+	}
+	for _, src := range sources {
+		s, err := sched.FindSchedule(sys.Net, src, opt.Sched)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.Schedules = append(res.Schedules, s)
+	}
+	if !opt.SkipIndependence {
+		if err := sched.CheckIndependence(res.Schedules); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	res.Bounds = sched.CombinedPlaceBounds(res.Schedules)
+	res.SharedChannels = sharedChannels(sys, res.Schedules)
+
+	for _, s := range res.Schedules {
+		name := "task_" + sys.Net.Transitions[s.Source].Name
+		task, err := codegen.Generate(s, name)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.Tasks = append(res.Tasks, task)
+		res.Code[name] = codegen.Synthesize(task, &codegen.SynthOptions{
+			Sys:            sys,
+			SharedChannels: res.SharedChannels,
+		})
+	}
+	return res, nil
+}
+
+// sharedChannels finds channel places touched (with token flow) by more
+// than one schedule; those must remain real inter-task channels.
+func sharedChannels(sys *link.System, set []*sched.Schedule) map[int]bool {
+	out := map[int]bool{}
+	if len(set) < 2 {
+		return out
+	}
+	users := map[int]int{}
+	for _, s := range set {
+		seen := map[int]bool{}
+		for _, tid := range s.InvolvedTransitions() {
+			t := sys.Net.Transitions[tid]
+			touch := func(pid int) {
+				if sys.Net.Places[pid].Kind == petri.PlaceChannel && !seen[pid] {
+					seen[pid] = true
+					users[pid]++
+				}
+			}
+			for _, a := range t.In {
+				if t.OutWeight(a.Place) != a.Weight {
+					touch(a.Place)
+				}
+			}
+			for _, a := range t.Out {
+				if t.Weight(a.Place) != a.Weight {
+					touch(a.Place)
+				}
+			}
+		}
+	}
+	for p, n := range users {
+		if n > 1 {
+			out[p] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoTaskSrc wires two independent trigger/worker pipelines in one
+// system: linking produces two uncontrollable sources, so the flow must
+// generate two independent tasks.
+const twoTaskSrc = `
+PROCESS w1 (In DPORT go, Out DPORT out) {
+  int v;
+  while (1) {
+    READ_DATA(go, &v, 1);
+    WRITE_DATA(out, v * 2, 1);
+  }
+}
+
+PROCESS w2 (In DPORT go, Out DPORT out) {
+  int v;
+  while (1) {
+    READ_DATA(go, &v, 1);
+    WRITE_DATA(out, v + 100, 1);
+  }
+}
+`
+
+const twoTaskSpec = `
+system twotask
+input go1 -> w1.go uncontrollable
+input go2 -> w2.go uncontrollable
+output w1.out -> o1
+output w2.out -> o2
+`
+
+func TestTwoIndependentTasks(t *testing.T) {
+	r, err := Synthesize(twoTaskSrc, twoTaskSpec, nil)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if len(r.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(r.Tasks))
+	}
+	// Independence holds and no channels are shared.
+	if len(r.SharedChannels) != 0 {
+		t.Errorf("shared channels = %v, want none", r.SharedChannels)
+	}
+	names := map[string]bool{}
+	for _, task := range r.Tasks {
+		names[task.Name] = true
+		if code := r.Code[task.Name]; !strings.Contains(code, "_ISR") {
+			t.Errorf("%s: generated code missing ISR", task.Name)
+		}
+	}
+	if !names["task_go1"] || !names["task_go2"] {
+		t.Errorf("task names = %v", names)
+	}
+}
+
+// pipelinedTasksSrc: two uncontrollable triggers drive two processes
+// that share a channel — the schedules both touch it, so it must be
+// reported shared and kept a real channel.
+const sharedChanSrc = `
+PROCESS w (In DPORT go, Out DPORT out) {
+  int v;
+  while (1) {
+    READ_DATA(go, &v, 1);
+    WRITE_DATA(out, v, 1);
+  }
+}
+
+PROCESS r (In DPORT tick, In DPORT in, Out DPORT res) {
+  int v, u;
+  while (1) {
+    READ_DATA(tick, &u, 1);
+    READ_DATA(in, &v, 1);
+    WRITE_DATA(res, v + u, 1);
+  }
+}
+`
+
+const sharedChanSpec = `
+system sharedchan
+channel C w.out -> r.in
+input go -> w.go uncontrollable
+input tick -> r.tick uncontrollable
+output r.res -> res
+`
+
+func TestCrossTaskChannelRejected(t *testing.T) {
+	// A channel written by one task and drained by another cannot appear
+	// in a set of single-source schedules: the writer's schedule would
+	// terminate with a token it cannot remove (it may not fire the other
+	// task's trigger), so it can never return to the initial marking.
+	// The flow must reject the system rather than synthesize tasks with
+	// unsound buffer bounds.
+	_, err := Synthesize(sharedChanSrc, sharedChanSpec, nil)
+	if err == nil {
+		t.Fatalf("cross-task channel system should be rejected")
+	}
+	if !strings.Contains(err.Error(), "no schedule") && !strings.Contains(err.Error(), "independent") {
+		t.Errorf("unexpected rejection reason: %v", err)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	// Parse error in FlowC.
+	if _, err := Synthesize("PROCESS broken {", twoTaskSpec, nil); err == nil {
+		t.Error("broken FlowC should fail")
+	}
+	// Parse error in the netlist.
+	if _, err := Synthesize(twoTaskSrc, "junk directive", nil); err == nil {
+		t.Error("broken netlist should fail")
+	}
+	// No uncontrollable inputs.
+	spec := `
+system s
+input go1 -> w1.go controllable
+input go2 -> w2.go controllable
+output w1.out -> o1
+output w2.out -> o2
+`
+	if _, err := Synthesize(twoTaskSrc, spec, nil); err == nil ||
+		!strings.Contains(err.Error(), "uncontrollable") {
+		t.Errorf("system without triggers should fail, got %v", err)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r, err := Synthesize(twoTaskSrc, twoTaskSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TaskByName("task_go1") == nil {
+		t.Error("TaskByName(task_go1) = nil")
+	}
+	if r.TaskByName("nope") != nil {
+		t.Error("TaskByName(nope) should be nil")
+	}
+	if got := r.ChannelBound("nope"); got != -1 {
+		t.Errorf("ChannelBound(nope) = %d, want -1", got)
+	}
+}
+
+func TestGeneratedCodeCompilesStructurally(t *testing.T) {
+	// Light structural sanity of generated C: balanced braces, one init
+	// and one ISR per task, no unresolved placeholders.
+	r, err := Synthesize(twoTaskSrc, twoTaskSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, code := range r.Code {
+		if strings.Count(code, "{") != strings.Count(code, "}") {
+			t.Errorf("%s: unbalanced braces", name)
+		}
+		if !strings.Contains(code, name+"_init") || !strings.Contains(code, name+"_ISR") {
+			t.Errorf("%s: missing init or ISR", name)
+		}
+		if strings.Contains(code, "internal error") || strings.Contains(code, "/*?") {
+			t.Errorf("%s: generated code contains placeholders:\n%s", name, code)
+		}
+	}
+}

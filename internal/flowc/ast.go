@@ -1,0 +1,265 @@
+package flowc
+
+// AST node definitions for FlowC.
+
+// PortDir is the direction of a process port.
+type PortDir int
+
+const (
+	// PortIn receives data.
+	PortIn PortDir = iota
+	// PortOut sends data.
+	PortOut
+)
+
+// String implements fmt.Stringer.
+func (d PortDir) String() string {
+	if d == PortIn {
+		return "In"
+	}
+	return "Out"
+}
+
+// PortDecl is a port in a process header: `In DPORT name`.
+type PortDecl struct {
+	Name string
+	Dir  PortDir
+	Pos  Pos
+}
+
+// Process is one FlowC process declaration.
+type Process struct {
+	Name  string
+	Ports []PortDecl
+	Body  *Block
+	Pos   Pos
+}
+
+// PortByName returns the declared port or nil.
+func (p *Process) PortByName(name string) *PortDecl {
+	for i := range p.Ports {
+		if p.Ports[i].Name == name {
+			return &p.Ports[i]
+		}
+	}
+	return nil
+}
+
+// File is a parsed FlowC source file: a list of processes.
+type File struct {
+	Processes []*Process
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// VarDecl is one declarator of a declaration statement.
+type VarDecl struct {
+	Name      string
+	ArraySize int  // 0 for scalars
+	Init      Expr // optional
+	Pos       Pos
+}
+
+// DeclStmt declares one or more int variables: `int n, i = 0, buf[10];`.
+type DeclStmt struct {
+	Vars []VarDecl
+	Pos  Pos
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// If is an if / if-else statement.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  Pos
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// For is a C-style for loop. Init may be an ExprStmt or DeclStmt; Cond
+// and Post may be nil.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// Read is `READ_DATA(port, dest, nitems)`. Dest is either `&scalar` or an
+// array identifier; NItems must be a positive integer constant (the paper
+// requires communication rates to be constants).
+type Read struct {
+	Port   string
+	Dest   Expr // Ident (array) — the & of scalars is absorbed by the parser
+	NItems int
+	Pos    Pos
+}
+
+// Write is `WRITE_DATA(port, src, nitems)`.
+type Write struct {
+	Port   string
+	Src    Expr
+	NItems int
+	Pos    Pos
+}
+
+// SelectArm is one `case k:` arm of a SELECT switch, bound to the k-th
+// (port, nitems) pair of the SELECT argument list.
+type SelectArm struct {
+	Port   string
+	NItems int
+	Body   []Stmt
+	Pos    Pos
+}
+
+// Select is the synchronization-dependent choice construct of Section
+// 7.1: `switch (SELECT(p0, n0, p1, n1, ...)) { case 0: ...; case 1: ... }`.
+// Arms are listed in SELECT argument order; earlier arms have higher
+// priority at run time.
+type Select struct {
+	Arms []SelectArm
+	Pos  Pos
+}
+
+func (*DeclStmt) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Read) stmtNode()     {}
+func (*Write) stmtNode()    {}
+func (*Select) stmtNode()   {}
+
+// StmtPos returns the statement position.
+func (s *DeclStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *ExprStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *Block) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *If) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *While) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *For) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *Read) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *Write) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the statement position.
+func (s *Select) StmtPos() Pos { return s.Pos }
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// Binary is a binary operation; Op is the token kind of the operator.
+type Binary struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+// Unary is `!x` or `-x`.
+type Unary struct {
+	Op  TokKind
+	X   Expr
+	Pos Pos
+}
+
+// Assign is `lhs = rhs`, `lhs += rhs` or `lhs -= rhs`.
+type Assign struct {
+	Op  TokKind // TokAssign, TokPlusEq, TokMinusEq
+	LHS Expr    // Ident or Index
+	RHS Expr
+	Pos Pos
+}
+
+// IncDec is `x++`, `x--`, `++x` or `--x`.
+type IncDec struct {
+	Op   TokKind // TokInc or TokDec
+	X    Expr    // Ident or Index
+	Post bool
+	Pos  Pos
+}
+
+// Index is `arr[i]`.
+type Index struct {
+	Arr Expr // Ident
+	Idx Expr
+	Pos Pos
+}
+
+func (*Ident) exprNode()  {}
+func (*IntLit) exprNode() {}
+func (*Binary) exprNode() {}
+func (*Unary) exprNode()  {}
+func (*Assign) exprNode() {}
+func (*IncDec) exprNode() {}
+func (*Index) exprNode()  {}
+
+// ExprPos returns the expression position.
+func (e *Ident) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the expression position.
+func (e *IntLit) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the expression position.
+func (e *Binary) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the expression position.
+func (e *Unary) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the expression position.
+func (e *Assign) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the expression position.
+func (e *IncDec) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the expression position.
+func (e *Index) ExprPos() Pos { return e.Pos }

@@ -1,0 +1,224 @@
+package flowc
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Lexer tokenizes FlowC source. It supports //-style and /* */ comments.
+type Lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the given source text.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%v: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.off
+		for l.off < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case unicode.IsDigit(r):
+		start := l.off
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%v: bad integer literal %q: %v", pos, text, err)
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}, nil
+	case r == '"':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && l.peek() != '"' {
+			l.advance()
+		}
+		if l.off >= len(l.src) {
+			return Token{}, fmt.Errorf("%v: unterminated string literal", pos)
+		}
+		text := string(l.src[start:l.off])
+		l.advance()
+		return Token{Kind: TokString, Text: text, Pos: pos}, nil
+	}
+	two := func(k TokKind, s string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: s, Pos: pos}, nil
+	}
+	one := func(k TokKind, s string) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: s, Pos: pos}, nil
+	}
+	switch r {
+	case '(':
+		return one(TokLParen, "(")
+	case ')':
+		return one(TokRParen, ")")
+	case '{':
+		return one(TokLBrace, "{")
+	case '}':
+		return one(TokRBrace, "}")
+	case '[':
+		return one(TokLBracket, "[")
+	case ']':
+		return one(TokRBracket, "]")
+	case ',':
+		return one(TokComma, ",")
+	case ';':
+		return one(TokSemi, ";")
+	case ':':
+		return one(TokColon, ":")
+	case '+':
+		if l.peek2() == '+' {
+			return two(TokInc, "++")
+		}
+		if l.peek2() == '=' {
+			return two(TokPlusEq, "+=")
+		}
+		return one(TokPlus, "+")
+	case '-':
+		if l.peek2() == '-' {
+			return two(TokDec, "--")
+		}
+		if l.peek2() == '=' {
+			return two(TokMinusEq, "-=")
+		}
+		return one(TokMinus, "-")
+	case '*':
+		return one(TokStar, "*")
+	case '/':
+		return one(TokSlash, "/")
+	case '%':
+		return one(TokPercent, "%")
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq, "==")
+		}
+		return one(TokAssign, "=")
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNeq, "!=")
+		}
+		return one(TokNot, "!")
+	case '<':
+		if l.peek2() == '=' {
+			return two(TokLe, "<=")
+		}
+		return one(TokLt, "<")
+	case '>':
+		if l.peek2() == '=' {
+			return two(TokGe, ">=")
+		}
+		return one(TokGt, ">")
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAndAnd, "&&")
+		}
+		return one(TokAmp, "&")
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOrOr, "||")
+		}
+	}
+	return Token{}, fmt.Errorf("%v: unexpected character %q", pos, string(r))
+}
+
+// LexAll tokenizes the whole source, including the trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,627 @@
+package flowc
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for FlowC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseFile parses a FlowC source file containing one or more PROCESS
+// declarations.
+func ParseFile(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		proc, err := p.parseProcess()
+		if err != nil {
+			return nil, err
+		}
+		f.Processes = append(f.Processes, proc)
+	}
+	if len(f.Processes) == 0 {
+		return nil, fmt.Errorf("no PROCESS declarations found")
+	}
+	return f, nil
+}
+
+// ParseProcess parses a source containing exactly one process.
+func ParseProcess(src string) (*Process, error) {
+	f, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Processes) != 1 {
+		return nil, fmt.Errorf("expected exactly one process, found %d", len(f.Processes))
+	}
+	return f.Processes[0], nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekKind(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%v: expected %v, found %v %q", t.Pos, k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseProcess() (*Process, error) {
+	start, err := p.expect(TokProcess)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	proc := &Process{Name: name.Text, Pos: start.Pos}
+	for !p.peekKind(TokRParen) {
+		var dir PortDir
+		switch p.cur().Kind {
+		case TokIn:
+			dir = PortIn
+		case TokOut:
+			dir = PortOut
+		default:
+			return nil, fmt.Errorf("%v: expected In or Out in port list, found %q", p.cur().Pos, p.cur().Text)
+		}
+		p.next()
+		if _, err := p.expect(TokDPort); err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		proc.Ports = append(proc.Ports, PortDecl{Name: pn.Text, Dir: dir, Pos: pn.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	proc.Body = body
+	return proc, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for !p.peekKind(TokRBrace) {
+		if p.peekKind(TokEOF) {
+			return nil, fmt.Errorf("%v: unterminated block", lb.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokSemi:
+		p.next()
+		return nil, nil
+	case TokLBrace:
+		return p.parseBlock()
+	case TokIntType:
+		return p.parseDecl()
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokSwitch:
+		return p.parseSelect()
+	case TokRead:
+		return p.parseRead()
+	case TokWrite:
+		return p.parseWrite()
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: t.Pos}, nil
+	}
+}
+
+func (p *Parser) parseDecl() (Stmt, error) {
+	start, _ := p.expect(TokIntType)
+	ds := &DeclStmt{Pos: start.Pos}
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vd := VarDecl{Name: name.Text, Pos: name.Pos}
+		if p.accept(TokLBracket) {
+			sz, err := p.expect(TokInt)
+			if err != nil {
+				return nil, err
+			}
+			if sz.Val <= 0 {
+				return nil, fmt.Errorf("%v: array size must be positive", sz.Pos)
+			}
+			vd.ArraySize = int(sz.Val)
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(TokAssign) {
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		ds.Vars = append(ds.Vars, vd)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	start, _ := p.expect(TokIf)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Pos: start.Pos}
+	if p.accept(TokElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	start, _ := p.expect(TokWhile)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	start, _ := p.expect(TokFor)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	node := &For{Pos: start.Pos}
+	if !p.peekKind(TokSemi) {
+		if p.peekKind(TokIntType) {
+			init, err := p.parseDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			node.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = &ExprStmt{X: x, Pos: x.ExprPos()}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.peekKind(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.peekKind(TokRParen) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+func (p *Parser) parseRead() (Stmt, error) {
+	start, _ := p.expect(TokRead)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	port, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	// Destination: &scalar or array identifier.
+	p.accept(TokAmp)
+	dest, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(TokInt)
+	if err != nil {
+		return nil, err
+	}
+	if n.Val <= 0 {
+		return nil, fmt.Errorf("%v: nitems must be a positive constant", n.Pos)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Read{Port: port.Text, Dest: dest, NItems: int(n.Val), Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseWrite() (Stmt, error) {
+	start, _ := p.expect(TokWrite)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	port, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	src, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(TokInt)
+	if err != nil {
+		return nil, err
+	}
+	if n.Val <= 0 {
+		return nil, fmt.Errorf("%v: nitems must be a positive constant", n.Pos)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Write{Port: port.Text, Src: src, NItems: int(n.Val), Pos: start.Pos}, nil
+}
+
+// parseSelect parses `switch (SELECT(p0, n0, p1, n1, ...)) { case 0: ... }`.
+func (p *Parser) parseSelect() (Stmt, error) {
+	start, _ := p.expect(TokSwitch)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSelect); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	sel := &Select{Pos: start.Pos}
+	for {
+		port, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, fmt.Errorf("%v: SELECT item count must be positive", n.Pos)
+		}
+		sel.Arms = append(sel.Arms, SelectArm{Port: port.Text, NItems: int(n.Val), Pos: port.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	for !p.peekKind(TokRBrace) {
+		if _, err := p.expect(TokCase); err != nil {
+			return nil, err
+		}
+		idx, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		k := int(idx.Val)
+		if k < 0 || k >= len(sel.Arms) {
+			return nil, fmt.Errorf("%v: case %d out of range for SELECT with %d alternatives", idx.Pos, k, len(sel.Arms))
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("%v: duplicate case %d", idx.Pos, k)
+		}
+		seen[k] = true
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		var body []Stmt
+		for !p.peekKind(TokCase) && !p.peekKind(TokRBrace) && !p.peekKind(TokBreak) {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				body = append(body, s)
+			}
+		}
+		if p.accept(TokBreak) {
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+		sel.Arms[k].Body = body
+	}
+	p.next() // consume }
+	return sel, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr     := assign
+//	assign   := or (('=' | '+=' | '-=') assign)?
+//	or       := and ('||' and)*
+//	and      := cmp ('&&' cmp)*
+//	cmp      := add (('=='|'!='|'<'|'<='|'>'|'>=') add)*
+//	add      := mul (('+'|'-') mul)*
+//	mul      := unary (('*'|'/'|'%') unary)*
+//	unary    := ('!'|'-'|'++'|'--') unary | postfix
+//	postfix  := primary ('[' expr ']' | '++' | '--')*
+//	primary  := IDENT | INT | '(' expr ')'
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokAssign, TokPlusEq, TokMinusEq:
+		op := p.next()
+		if !isLValue(lhs) {
+			return nil, fmt.Errorf("%v: left side of %q is not assignable", op.Pos, op.Text)
+		}
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Op: op.Kind, LHS: lhs, RHS: rhs, Pos: op.Pos}, nil
+	}
+	return lhs, nil
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *Index:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseBinaryLevel(ops []TokKind, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		match := false
+		for _, op := range ops {
+			if p.peekKind(op) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return l, nil
+		}
+		op := p.next()
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseOr() (Expr, error) {
+	return p.parseBinaryLevel([]TokKind{TokOrOr}, p.parseAnd)
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	return p.parseBinaryLevel([]TokKind{TokAndAnd}, p.parseCmp)
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	return p.parseBinaryLevel([]TokKind{TokEq, TokNeq, TokLt, TokLe, TokGt, TokGe}, p.parseAdd)
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	return p.parseBinaryLevel([]TokKind{TokPlus, TokMinus}, p.parseMul)
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	return p.parseBinaryLevel([]TokKind{TokStar, TokSlash, TokPercent}, p.parseUnary)
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNot, TokMinus:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op.Kind, X: x, Pos: op.Pos}, nil
+	case TokInc, TokDec:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(x) {
+			return nil, fmt.Errorf("%v: operand of %q is not assignable", op.Pos, op.Text)
+		}
+		return &IncDec{Op: op.Kind, X: x, Post: false, Pos: op.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{Arr: x, Idx: idx, Pos: lb.Pos}
+		case TokInc, TokDec:
+			op := p.next()
+			if !isLValue(x) {
+				return nil, fmt.Errorf("%v: operand of %q is not assignable", op.Pos, op.Text)
+			}
+			x = &IncDec{Op: op.Kind, X: x, Post: true, Pos: op.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case TokInt:
+		p.next()
+		return &IntLit{Val: t.Val, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("%v: unexpected token %v %q in expression", t.Pos, t.Kind, t.Text)
+}

@@ -1,0 +1,148 @@
+package flowc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatExpr renders an expression as C source text.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
+	case *Unary:
+		return fmt.Sprintf("%s%s", x.Op, FormatExpr(x.X))
+	case *Assign:
+		return fmt.Sprintf("%s %s %s", FormatExpr(x.LHS), x.Op, FormatExpr(x.RHS))
+	case *IncDec:
+		if x.Post {
+			return fmt.Sprintf("%s%s", FormatExpr(x.X), x.Op)
+		}
+		return fmt.Sprintf("%s%s", x.Op, FormatExpr(x.X))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", FormatExpr(x.Arr), FormatExpr(x.Idx))
+	case nil:
+		return ""
+	}
+	return fmt.Sprintf("/*?expr %T*/", e)
+}
+
+// FormatStmt renders a statement as indented C source text. indent is the
+// number of leading levels (two spaces each).
+func FormatStmt(s Stmt, indent int) string {
+	var sb strings.Builder
+	writeStmt(&sb, s, indent)
+	return sb.String()
+}
+
+func pad(sb *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeStmt(sb *strings.Builder, s Stmt, indent int) {
+	switch x := s.(type) {
+	case *DeclStmt:
+		pad(sb, indent)
+		sb.WriteString("int ")
+		for i, v := range x.Vars {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.Name)
+			if v.ArraySize > 0 {
+				fmt.Fprintf(sb, "[%d]", v.ArraySize)
+			}
+			if v.Init != nil {
+				sb.WriteString(" = ")
+				sb.WriteString(FormatExpr(v.Init))
+			}
+		}
+		sb.WriteString(";\n")
+	case *ExprStmt:
+		pad(sb, indent)
+		sb.WriteString(FormatExpr(x.X))
+		sb.WriteString(";\n")
+	case *Block:
+		pad(sb, indent)
+		sb.WriteString("{\n")
+		for _, st := range x.Stmts {
+			writeStmt(sb, st, indent+1)
+		}
+		pad(sb, indent)
+		sb.WriteString("}\n")
+	case *If:
+		pad(sb, indent)
+		fmt.Fprintf(sb, "if (%s)\n", FormatExpr(x.Cond))
+		writeStmt(sb, x.Then, indent+1)
+		if x.Else != nil {
+			pad(sb, indent)
+			sb.WriteString("else\n")
+			writeStmt(sb, x.Else, indent+1)
+		}
+	case *While:
+		pad(sb, indent)
+		fmt.Fprintf(sb, "while (%s)\n", FormatExpr(x.Cond))
+		writeStmt(sb, x.Body, indent+1)
+	case *For:
+		pad(sb, indent)
+		init := ""
+		if x.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(FormatStmt(x.Init, 0)), ";\n")
+			init = strings.TrimSuffix(init, ";")
+		}
+		fmt.Fprintf(sb, "for (%s; %s; %s)\n", init, FormatExpr(x.Cond), FormatExpr(x.Post))
+		writeStmt(sb, x.Body, indent+1)
+	case *Read:
+		pad(sb, indent)
+		fmt.Fprintf(sb, "READ_DATA(%s, %s, %d);\n", x.Port, FormatExpr(x.Dest), x.NItems)
+	case *Write:
+		pad(sb, indent)
+		fmt.Fprintf(sb, "WRITE_DATA(%s, %s, %d);\n", x.Port, FormatExpr(x.Src), x.NItems)
+	case *Select:
+		pad(sb, indent)
+		sb.WriteString("switch (SELECT(")
+		for i, a := range x.Arms {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%s, %d", a.Port, a.NItems)
+		}
+		sb.WriteString(")) {\n")
+		for i, a := range x.Arms {
+			pad(sb, indent)
+			fmt.Fprintf(sb, "case %d:\n", i)
+			for _, st := range a.Body {
+				writeStmt(sb, st, indent+1)
+			}
+			pad(sb, indent+1)
+			sb.WriteString("break;\n")
+		}
+		pad(sb, indent)
+		sb.WriteString("}\n")
+	case nil:
+	default:
+		pad(sb, indent)
+		fmt.Fprintf(sb, "/*?stmt %T*/\n", s)
+	}
+}
+
+// FormatProcess renders a whole process declaration as FlowC source.
+func FormatProcess(p *Process) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PROCESS %s (", p.Name)
+	for i, pt := range p.Ports {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s DPORT %s", pt.Dir, pt.Name)
+	}
+	sb.WriteString(")\n")
+	writeStmt(&sb, p.Body, 0)
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+// Package flowc implements the FlowC specification language of the
+// paper: C-like sequential processes extended with port communication
+// primitives READ_DATA / WRITE_DATA and the SELECT construct.
+//
+// The package provides a lexer, AST, recursive-descent parser, semantic
+// checker and pretty printer. Compilation to Petri nets lives in
+// internal/compile.
+package flowc
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokColon    // :
+	TokAmp      // &
+	TokAssign   // =
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokEq       // ==
+	TokNeq      // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokInc      // ++
+	TokDec      // --
+
+	// Keywords.
+	TokProcess // PROCESS
+	TokIn      // In
+	TokOut     // Out
+	TokDPort   // DPORT
+	TokIntType // int
+	TokIf      // if
+	TokElse    // else
+	TokWhile   // while
+	TokFor     // for
+	TokSwitch  // switch
+	TokCase    // case
+	TokDefault // default
+	TokBreak   // break
+	TokRead    // READ_DATA
+	TokWrite   // WRITE_DATA
+	TokSelect  // SELECT
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer", TokString: "string",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokColon: ":", TokAmp: "&", TokAssign: "=", TokPlusEq: "+=",
+	TokMinusEq: "-=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokEq: "==", TokNeq: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokNot: "!", TokInc: "++", TokDec: "--",
+	TokProcess: "PROCESS", TokIn: "In", TokOut: "Out", TokDPort: "DPORT",
+	TokIntType: "int", TokIf: "if", TokElse: "else", TokWhile: "while",
+	TokFor: "for", TokSwitch: "switch", TokCase: "case", TokDefault: "default",
+	TokBreak: "break", TokRead: "READ_DATA", TokWrite: "WRITE_DATA",
+	TokSelect: "SELECT",
+}
+
+// String implements fmt.Stringer.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"PROCESS": TokProcess, "In": TokIn, "Out": TokOut, "DPORT": TokDPort,
+	"int": TokIntType, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "switch": TokSwitch, "case": TokCase, "default": TokDefault,
+	"break": TokBreak, "READ_DATA": TokRead, "WRITE_DATA": TokWrite,
+	"SELECT": TokSelect,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokInt
+	Pos  Pos
+}

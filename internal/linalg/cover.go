@@ -1,0 +1,125 @@
+package linalg
+
+import "sort"
+
+// Heuristic binate covering, used to select the candidate invariant of
+// Section 5.5.2: a subset of the T-invariant base whose sum satisfies the
+// pseudo-enabled-ECS necessary condition of Theorem 5.3.
+//
+// A binate covering instance is a matrix over {-1, 0, +1}. A subset S of
+// columns is feasible when every row i either has no column j in S with
+// A[i][j] == -1, or has some column j in S with A[i][j] == +1.
+
+// BinateRow is one row of the covering matrix, stored sparsely.
+type BinateRow struct {
+	Pos []int // columns with +1
+	Neg []int // columns with -1
+}
+
+// BinateCover searches for a small feasible subset of columns. It returns
+// the selected column indices (ascending) and true, or nil and false when
+// the greedy repair loop cannot find a feasible subset.
+//
+// The heuristic follows the classical greedy approach: start from the
+// requested seed columns (may be nil), then repeatedly repair violated
+// rows by adding the +1 column that fixes the most currently-violated
+// rows. A row with a selected -1 column and no selectable +1 column makes
+// the attempt fail; the offending seed column is dropped and the search
+// restarts (bounded number of restarts).
+func BinateCover(numCols int, rows []BinateRow, seed []int) ([]int, bool) {
+	banned := map[int]bool{}
+	for attempt := 0; attempt <= numCols; attempt++ {
+		sel := map[int]bool{}
+		for _, s := range seed {
+			if !banned[s] {
+				sel[s] = true
+			}
+		}
+		ok, offender := repair(numCols, rows, sel, banned)
+		if ok {
+			var out []int
+			for c := range sel {
+				out = append(out, c)
+			}
+			sort.Ints(out)
+			return out, true
+		}
+		if offender < 0 {
+			return nil, false
+		}
+		banned[offender] = true
+	}
+	return nil, false
+}
+
+// repair greedily adds +1 columns until no row is violated. On failure it
+// returns false and a selected column implicated in an unfixable row (or
+// -1 when nothing can be blamed).
+func repair(numCols int, rows []BinateRow, sel map[int]bool, banned map[int]bool) (bool, int) {
+	for iter := 0; iter < numCols+len(rows)+1; iter++ {
+		violated := violatedRows(rows, sel)
+		if len(violated) == 0 {
+			return true, 0
+		}
+		// Pick the non-banned +1 column fixing the most violated rows.
+		gain := map[int]int{}
+		for _, ri := range violated {
+			for _, c := range rows[ri].Pos {
+				if !banned[c] && !sel[c] {
+					gain[c]++
+				}
+			}
+		}
+		best, bestGain := -1, 0
+		cols := make([]int, 0, len(gain))
+		for c := range gain {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			if gain[c] > bestGain {
+				best, bestGain = c, gain[c]
+			}
+		}
+		if best < 0 {
+			// Some violated row has no fixable +1 column: blame one of
+			// its selected -1 columns so the caller can restart.
+			ri := violated[0]
+			for _, c := range rows[ri].Neg {
+				if sel[c] {
+					return false, c
+				}
+			}
+			return false, -1
+		}
+		sel[best] = true
+	}
+	return false, -1
+}
+
+func violatedRows(rows []BinateRow, sel map[int]bool) []int {
+	var out []int
+	for i, r := range rows {
+		hasNeg := false
+		for _, c := range r.Neg {
+			if sel[c] {
+				hasNeg = true
+				break
+			}
+		}
+		if !hasNeg {
+			continue
+		}
+		hasPos := false
+		for _, c := range r.Pos {
+			if sel[c] {
+				hasPos = true
+				break
+			}
+		}
+		if !hasPos {
+			out = append(out, i)
+		}
+	}
+	return out
+}

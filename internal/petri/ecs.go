@@ -1,0 +1,88 @@
+package petri
+
+import "sort"
+
+// ECS is an equal conflict set: a maximal set of non-source transitions
+// with identical presets (F(p,t_i) == F(p,t_j) for all p), or a singleton
+// source transition. If one member is enabled at a marking, all are.
+//
+// ECSs are the alphabet of the scheduler: a data-dependent control
+// construct compiles to one ECS with several transitions (the scheduler
+// must survive every resolution), while SELECT alternatives have distinct
+// presets and therefore land in distinct ECSs (the scheduler may pick).
+type ECS struct {
+	Index int   // position in the net's ECS partition
+	Trans []int // member transition IDs, ascending
+}
+
+// IsSourceECS reports whether the ECS is the singleton of a source
+// transition.
+func (e *ECS) IsSourceECS(n *Net) bool {
+	return len(e.Trans) == 1 && n.Transitions[e.Trans[0]].IsSource()
+}
+
+// IsUncontrollable reports whether the ECS is the singleton of an
+// uncontrollable source transition.
+func (e *ECS) IsUncontrollable(n *Net) bool {
+	return len(e.Trans) == 1 && n.Transitions[e.Trans[0]].Kind == TransSourceUnc
+}
+
+// Enabled reports whether the ECS is enabled at m. By the equal-conflict
+// property it suffices to test one member.
+func (e *ECS) Enabled(n *Net, m Marking) bool {
+	return m.Enabled(n.Transitions[e.Trans[0]])
+}
+
+// ECSPartition computes the equal-conflict partition of the net's
+// transitions. The result is deterministic: classes are ordered by their
+// smallest member ID, members ascending.
+func (n *Net) ECSPartition() []*ECS {
+	byKey := map[string][]int{}
+	var classes [][]int
+	for _, t := range n.Transitions {
+		if t.IsSource() {
+			// Each source transition is its own ECS by definition.
+			classes = append(classes, []int{t.ID})
+			continue
+		}
+		k := t.presetKey()
+		byKey[k] = append(byKey[k], t.ID)
+	}
+	for _, ts := range byKey {
+		sort.Ints(ts)
+		classes = append(classes, ts)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	out := make([]*ECS, len(classes))
+	for i, ts := range classes {
+		out[i] = &ECS{Index: i, Trans: ts}
+	}
+	return out
+}
+
+// ECSIndex maps every transition ID to the index of its ECS within the
+// given partition.
+func ECSIndex(part []*ECS, numTrans int) []int {
+	idx := make([]int, numTrans)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for _, e := range part {
+		for _, t := range e.Trans {
+			idx[t] = e.Index
+		}
+	}
+	return idx
+}
+
+// EnabledECS returns the ECSs of the partition enabled at m, in partition
+// order.
+func EnabledECS(n *Net, part []*ECS, m Marking) []*ECS {
+	var out []*ECS
+	for _, e := range part {
+		if e.Enabled(n, m) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package petri
+
+// Place degrees and the irrelevant-marking criterion (Definitions 4.4 and
+// 4.5 of the paper). The criterion prunes the schedule search without
+// requiring a-priori place bounds: a marking is discarded if it covers an
+// ancestor in the search tree and every strictly increased place is
+// already saturated (at or beyond its degree).
+
+// Degree returns the degree of place p:
+//
+//	max( maxInWeight(p) + maxOutWeight(p) - 1, M0(p) )
+//
+// Intuitively, once p holds maxOutWeight(p)-1 tokens it is one producer
+// firing away from enabling any successor; accumulating beyond
+// maxIn+maxOut-1 cannot enable anything new.
+func (n *Net) Degree(p *Place) int {
+	maxIn, maxOut := 0, 0
+	for _, tid := range n.Predecessors(p.ID) {
+		if w := n.Transitions[tid].OutWeight(p.ID); w > maxIn {
+			maxIn = w
+		}
+	}
+	for _, tid := range n.Successors(p.ID) {
+		if w := n.Transitions[tid].Weight(p.ID); w > maxOut {
+			maxOut = w
+		}
+	}
+	d := maxIn + maxOut - 1
+	if d < p.Initial {
+		d = p.Initial
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Degrees returns the degree of every place, indexed by place ID.
+func (n *Net) Degrees() []int {
+	out := make([]int, len(n.Places))
+	for i, p := range n.Places {
+		out[i] = n.Degree(p)
+	}
+	return out
+}
+
+// IrrelevantAgainst reports whether marking m is irrelevant with respect
+// to a single earlier marking anc on the path from the root (Def. 4.5):
+//
+//	(a) m is reachable from anc      — guaranteed by the caller, who
+//	    passes ancestors of the search-tree node;
+//	(b) m covers anc;
+//	(c) every place where m strictly exceeds anc is already saturated in
+//	    anc (anc(p) >= degree(p)): pumping more tokens into a saturated
+//	    place cannot enable anything new (see the Figure 7 discussion —
+//	    "it covers ..., where places ... are already saturated").
+func IrrelevantAgainst(m, anc Marking, degrees []int) bool {
+	strictSomewhere := false
+	for i := range m {
+		if m[i] < anc[i] {
+			return false
+		}
+		if m[i] > anc[i] {
+			strictSomewhere = true
+			if anc[i] < degrees[i] {
+				return false
+			}
+		}
+	}
+	// A marking equal to an ancestor is not irrelevant: it closes a
+	// cycle, which is exactly what the scheduler wants.
+	return strictSomewhere
+}
+
+// Irrelevant reports whether m is irrelevant with respect to any of the
+// given ancestor markings (ordered root first, though order is
+// immaterial).
+func Irrelevant(m Marking, ancestors []Marking, degrees []int) bool {
+	for _, anc := range ancestors {
+		if IrrelevantAgainst(m, anc, degrees) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Marking is a token count per place, indexed by place ID. Markings are
+// value-like: mutating methods operate in place, functional ones return
+// fresh slices.
+type Marking []int
+
+// Clone returns a copy of m.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Equal reports whether m and o assign the same count to every place.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether m(p) >= o(p) for every place p.
+func (m Marking) Covers(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the total number of tokens.
+func (m Marking) Total() int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Key returns a canonical string usable as a map key.
+func (m Marking) Key() string {
+	var sb strings.Builder
+	for i, v := range m {
+		if v != 0 {
+			fmt.Fprintf(&sb, "%d:%d,", i, v)
+		}
+	}
+	return sb.String()
+}
+
+// Format renders the marking as the multiset of marked place names, in
+// the "p1 p2 p2" style of the paper's figures. The empty marking renders
+// as "0".
+func (m Marking) Format(n *Net) string {
+	var names []string
+	for i, v := range m {
+		for k := 0; k < v; k++ {
+			names = append(names, n.Places[i].Name)
+		}
+	}
+	if len(names) == 0 {
+		return "0"
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+// Enabled reports whether transition t is enabled at m: m(p) >= F(p,t)
+// for every place p. Source transitions are always enabled.
+func (m Marking) Enabled(t *Transition) bool {
+	for _, a := range t.In {
+		if m[a.Place] < a.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire returns the marking obtained by firing t at m. It panics if t is
+// not enabled; callers are expected to have checked Enabled.
+func (m Marking) Fire(t *Transition) Marking {
+	if !m.Enabled(t) {
+		panic(fmt.Sprintf("petri: firing disabled transition %s at %v", t.Name, []int(m)))
+	}
+	r := m.Clone()
+	for _, a := range t.In {
+		r[a.Place] -= a.Weight
+	}
+	for _, a := range t.Out {
+		r[a.Place] += a.Weight
+	}
+	return r
+}
+
+// FireSeq fires a sequence of transitions from m, returning the final
+// marking, or an error naming the first disabled transition.
+func (m Marking) FireSeq(seq []*Transition) (Marking, error) {
+	cur := m
+	for i, t := range seq {
+		if !cur.Enabled(t) {
+			return nil, fmt.Errorf("petri: transition %s (position %d) not enabled", t.Name, i)
+		}
+		cur = cur.Fire(t)
+	}
+	return cur, nil
+}
+
+// Fireable reports whether the sequence is fireable from m.
+func (m Marking) Fireable(seq []*Transition) bool {
+	_, err := m.FireSeq(seq)
+	return err == nil
+}
+
+// EnabledTransitions returns the IDs of all transitions of n enabled at
+// m, in ascending order. Source transitions are included.
+func (n *Net) EnabledTransitions(m Marking) []int {
+	var out []int
+	for _, t := range n.Transitions {
+		if m.Enabled(t) {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// RespectsBounds reports whether the marking respects every
+// user-specified place bound (Bound == 0 means unbounded).
+func (n *Net) RespectsBounds(m Marking) bool {
+	for i, p := range n.Places {
+		if p.Bound > 0 && m[i] > p.Bound {
+			return false
+		}
+	}
+	return true
+}

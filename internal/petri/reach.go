@@ -1,0 +1,123 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bounded-reachability utilities. The full reachability graph of a net
+// with source transitions is infinite; these helpers explore a finite
+// fragment for validation, testing and diagnostics.
+
+// ReachResult is the outcome of a bounded exploration.
+type ReachResult struct {
+	// Markings holds every distinct marking visited, keyed by Marking.Key.
+	Markings map[string]Marking
+	// Edges holds, for each visited marking key, the (transition, next
+	// marking key) pairs explored.
+	Edges map[string][]ReachEdge
+	// Truncated is true when the exploration hit a limit before
+	// exhausting the state space.
+	Truncated bool
+}
+
+// ReachEdge is one edge of the explored reachability graph.
+type ReachEdge struct {
+	Trans int
+	To    string
+}
+
+// ExploreOptions bounds a reachability exploration.
+type ExploreOptions struct {
+	// MaxMarkings limits the number of distinct markings (default 10000).
+	MaxMarkings int
+	// MaxTokensPerPlace prunes markings where any place exceeds this
+	// count (0 = no pruning). Keeps nets with sources finite.
+	MaxTokensPerPlace int
+	// FireSources includes source transitions in the exploration when
+	// true; otherwise only internal behaviour is explored.
+	FireSources bool
+}
+
+// Explore performs a breadth-first bounded exploration from the initial
+// marking.
+func (n *Net) Explore(opt ExploreOptions) *ReachResult {
+	if opt.MaxMarkings == 0 {
+		opt.MaxMarkings = 10000
+	}
+	res := &ReachResult{
+		Markings: map[string]Marking{},
+		Edges:    map[string][]ReachEdge{},
+	}
+	m0 := n.InitialMarking()
+	queue := []Marking{m0}
+	res.Markings[m0.Key()] = m0
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		key := m.Key()
+		for _, t := range n.Transitions {
+			if !opt.FireSources && t.IsSource() {
+				continue
+			}
+			if !m.Enabled(t) {
+				continue
+			}
+			next := m.Fire(t)
+			if opt.MaxTokensPerPlace > 0 {
+				over := false
+				for _, v := range next {
+					if v > opt.MaxTokensPerPlace {
+						over = true
+						break
+					}
+				}
+				if over {
+					res.Truncated = true
+					continue
+				}
+			}
+			nk := next.Key()
+			res.Edges[key] = append(res.Edges[key], ReachEdge{Trans: t.ID, To: nk})
+			if _, seen := res.Markings[nk]; !seen {
+				if len(res.Markings) >= opt.MaxMarkings {
+					res.Truncated = true
+					continue
+				}
+				res.Markings[nk] = next
+				queue = append(queue, next)
+			}
+		}
+	}
+	return res
+}
+
+// DeadlockMarkings returns the keys of visited markings with no explored
+// outgoing edge (source firings excluded unless FireSources was set),
+// sorted for determinism.
+func (r *ReachResult) DeadlockMarkings() []string {
+	var out []string
+	for k := range r.Markings {
+		if len(r.Edges[k]) == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoEnabled reports whether the two transitions are simultaneously
+// enabled in any marking visited by the exploration. This is the exact
+// (but bounded) version of the structural uniqueness test.
+func (n *Net) CoEnabled(r *ReachResult, a, b int) (bool, error) {
+	if a < 0 || a >= len(n.Transitions) || b < 0 || b >= len(n.Transitions) {
+		return false, fmt.Errorf("petri: transition index out of range (%d, %d)", a, b)
+	}
+	ta, tb := n.Transitions[a], n.Transitions[b]
+	for _, m := range r.Markings {
+		if m.Enabled(ta) && m.Enabled(tb) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,63 @@
+package petri
+
+import "testing"
+
+func TestExploreBounded(t *testing.T) {
+	n := simpleNet(t)
+	// Without sources: nothing fires from the initial marking.
+	r := n.Explore(ExploreOptions{FireSources: false})
+	if len(r.Markings) != 1 {
+		t.Errorf("markings without sources = %d, want 1", len(r.Markings))
+	}
+	// With sources and a token cap, the space closes.
+	r = n.Explore(ExploreOptions{FireSources: true, MaxTokensPerPlace: 4})
+	if len(r.Markings) < 3 {
+		t.Errorf("markings with sources = %d, want several", len(r.Markings))
+	}
+	if !r.Truncated {
+		t.Error("cap should truncate the infinite source-driven space")
+	}
+}
+
+func TestExploreMaxMarkings(t *testing.T) {
+	n := simpleNet(t)
+	r := n.Explore(ExploreOptions{FireSources: true, MaxMarkings: 2, MaxTokensPerPlace: 10})
+	if len(r.Markings) > 2 {
+		t.Errorf("markings = %d, exceeds limit 2", len(r.Markings))
+	}
+	if !r.Truncated {
+		t.Error("limit should mark the result truncated")
+	}
+}
+
+func TestDeadlockMarkings(t *testing.T) {
+	n := New("dead")
+	p := n.AddPlace("p", PlaceInternal, 1)
+	q := n.AddPlace("q", PlaceInternal, 0)
+	tr := n.AddTransition("t", TransNormal)
+	n.AddArc(p, tr, 1)
+	n.AddArcTP(tr, q, 1)
+	r := n.Explore(ExploreOptions{})
+	dead := r.DeadlockMarkings()
+	if len(dead) != 1 {
+		t.Fatalf("deadlocks = %v, want exactly the final marking", dead)
+	}
+}
+
+func TestCoEnabled(t *testing.T) {
+	n := choiceNet(t)
+	r := n.Explore(ExploreOptions{})
+	// t1 and t2 share the equal-choice place: co-enabled.
+	co, err := n.CoEnabled(r, 0, 1)
+	if err != nil || !co {
+		t.Errorf("t1/t2 co-enabled = %v (%v), want true", co, err)
+	}
+	// r1 and r2 consume distinct internal places (only pc1 marked).
+	co, err = n.CoEnabled(r, 2, 3)
+	if err != nil || co {
+		t.Errorf("r1/r2 co-enabled = %v (%v), want false", co, err)
+	}
+	if _, err := n.CoEnabled(r, 0, 99); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}

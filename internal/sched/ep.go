@@ -1,0 +1,379 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// ErrNoSchedule is wrapped by FindSchedule failures that mean "searched
+// the whole space RT_θ and found nothing" rather than an internal error.
+var ErrNoSchedule = errors.New("no schedule in the search space")
+
+// ErrBudget is wrapped when the node budget was exhausted before the
+// search space was covered; the result is then inconclusive.
+var ErrBudget = errors.New("search budget exhausted")
+
+// Options configures the schedule search.
+type Options struct {
+	// Term is the termination condition defining the search space.
+	// Defaults to the irrelevance criterion.
+	Term Termination
+	// Order sorts enabled ECSs at each node. Defaults to the T-invariant
+	// heuristic of Section 5.5.2 with the paper's tie-breaks.
+	Order ECSOrder
+	// MultiSource permits firing other uncontrollable sources inside the
+	// schedule (yielding MS schedules, Section 4.1). The default (false)
+	// generates only single-source schedules, which are guaranteed
+	// independent for FlowC-derived nets (Prop. 4.3).
+	MultiSource bool
+	// MaxNodes bounds the number of tree nodes / graph states created
+	// (default 500000).
+	MaxNodes int
+	// Engine selects the search engine (default EngineGraph).
+	Engine Engine
+	// NoFallback disables the automatic exhaustive-tree retry after a
+	// greedy-tree failure (EngineTreeGreedy only).
+	NoFallback bool
+}
+
+// Engine selects how the schedule search explores the reachability
+// space.
+type Engine int
+
+const (
+	// EngineGraph (default) searches the marking graph with an
+	// alternating closure/reachability fixpoint — polynomial in the
+	// number of reachable markings under the termination caps, and
+	// complete with respect to tree schedules within that space.
+	EngineGraph Engine = iota
+	// EngineTreeGreedy is the paper's EP/EP_ECS tree search with two
+	// refinements: the first ECS yielding a valid entering point wins,
+	// and environment sources fire only when nothing else can (the
+	// paper's own heuristic applied as a hard gate). Falls back to
+	// EngineTreeExhaustive on failure unless NoFallback is set.
+	EngineTreeGreedy
+	// EngineTreeExhaustive is the EP/EP_ECS procedure exactly as in
+	// Figure 9 of the paper: every enabled ECS is explored in heuristic
+	// order looking for the minimum entering point.
+	EngineTreeExhaustive
+)
+
+func (o *Options) withDefaults(n *petri.Net, source int) Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.Term == nil {
+		out.Term = NewIrrelevance(n)
+	}
+	if out.Order == nil {
+		out.Order = NewTInvariantOrder(n, source, out.Term)
+	}
+	if out.MaxNodes == 0 {
+		out.MaxNodes = 500000
+	}
+	return out
+}
+
+// treeNode is a node of the EP search tree.
+type treeNode struct {
+	id      int
+	parent  *treeNode
+	depth   int
+	inTrans int // transition fired on the edge from parent; -1 at root
+	marking petri.Marking
+
+	chosenECS *petri.ECS          // ECS(v) chosen by EP; nil for leaves
+	kids      map[int][]*treeNode // ECS index -> children created
+	entry     *treeNode           // loop target for marking-match leaves
+}
+
+type engine struct {
+	net    *petri.Net
+	source int
+	opt    Options
+	part   []*petri.ECS
+	stats  SearchStats
+	nodes  int
+	over   bool // budget exhausted
+}
+
+// FindSchedule computes a single-source schedule for the given
+// uncontrollable source transition, or reports why none was found.
+func FindSchedule(n *petri.Net, source int, opt *Options) (*Schedule, error) {
+	if source < 0 || source >= len(n.Transitions) {
+		return nil, fmt.Errorf("sched: source transition %d out of range", source)
+	}
+	st := n.Transitions[source]
+	if st.Kind != petri.TransSourceUnc {
+		return nil, fmt.Errorf("sched: transition %s is %v, want an uncontrollable source", st.Name, st.Kind)
+	}
+	eff := opt.withDefaults(n, source)
+	if eff.Engine == EngineGraph {
+		return findScheduleGraph(n, source, eff)
+	}
+	e := &engine{
+		net:    n,
+		source: source,
+		opt:    eff,
+		part:   n.ECSPartition(),
+	}
+	if _, ok := e.opt.Order.(*TInvariantOrder); ok {
+		e.stats.UsedTInv = true
+	}
+	root := e.newNode(nil, -1, n.InitialMarking())
+	child := e.newNode(root, source, root.marking.Fire(st))
+	root.chosenECS = e.ecsOf(source)
+	root.kids = map[int][]*treeNode{root.chosenECS.Index: {child}}
+	got := e.ep(child, root)
+	if e.over {
+		return nil, fmt.Errorf("sched: source %s: %w (created %d nodes)", st.Name, ErrBudget, e.nodes)
+	}
+	if got != root {
+		if e.opt.Engine == EngineTreeGreedy && !e.opt.NoFallback {
+			retry := e.opt
+			retry.Engine = EngineTreeExhaustive
+			return FindSchedule(n, source, &retry)
+		}
+		return nil, fmt.Errorf("sched: source %s under %s: %w (explored %d nodes, pruned %d)",
+			st.Name, e.opt.Term.Name(), ErrNoSchedule, e.nodes, e.stats.Pruned)
+	}
+	s := e.buildSchedule(root)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: internal error: produced invalid schedule: %v", err)
+	}
+	return s, nil
+}
+
+// FindAll computes one schedule per uncontrollable source transition.
+func FindAll(n *petri.Net, opt *Options) ([]*Schedule, error) {
+	var out []*Schedule
+	for _, src := range n.UncontrollableSources() {
+		s, err := FindSchedule(n, src, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sched: net %s has no uncontrollable source transitions", n.Name)
+	}
+	return out, nil
+}
+
+func (e *engine) ecsOf(trans int) *petri.ECS {
+	for _, E := range e.part {
+		for _, t := range E.Trans {
+			if t == trans {
+				return E
+			}
+		}
+	}
+	return nil
+}
+
+func (e *engine) newNode(parent *treeNode, inTrans int, m petri.Marking) *treeNode {
+	e.nodes++
+	if e.nodes > e.opt.MaxNodes {
+		e.over = true
+	}
+	n := &treeNode{id: e.nodes, parent: parent, inTrans: inTrans, marking: m}
+	if parent != nil {
+		n.depth = parent.depth + 1
+	}
+	if n.depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = n.depth
+	}
+	e.stats.NodesCreated++
+	return n
+}
+
+// isAncEq reports whether u is an ancestor of x or x itself.
+func isAncEq(u, x *treeNode) bool {
+	for x != nil && x.depth >= u.depth {
+		if x == u {
+			return true
+		}
+		x = x.parent
+	}
+	return false
+}
+
+func (e *engine) ancestorMarkings(v *treeNode) []petri.Marking {
+	var out []petri.Marking
+	for u := v.parent; u != nil; u = u.parent {
+		out = append(out, u.marking)
+	}
+	return out
+}
+
+// ep implements function EP(v, target) of Figure 9(a): find an entering
+// point of v that is an ancestor of target if one exists, else the
+// minimum entering point found, else nil (UNDEF).
+func (e *engine) ep(v, target *treeNode) *treeNode {
+	if e.over {
+		return nil
+	}
+	anc := e.ancestorMarkings(v)
+	if e.opt.Term.Prune(v.marking, anc) {
+		e.stats.Pruned++
+		return nil
+	}
+	// Marking match against a proper ancestor: v is a leaf looping back.
+	for u := v.parent; u != nil; u = u.parent {
+		if u.marking.Equal(v.marking) {
+			v.entry = u
+			return u
+		}
+	}
+	enabled := e.enabledECS(v.marking)
+	enabled = e.opt.Order.Sort(&OrderContext{
+		Net:       e.net,
+		Marking:   v.marking,
+		Fired:     e.firedCounts(v),
+		Source:    e.source,
+		Ancestors: anc,
+	}, enabled)
+	// Environment sources are a second-class pass: "fire a source
+	// transition only when the system cannot fire anything else"
+	// (Section 4.4). In greedy mode this is a hard gate; in exhaustive
+	// mode sources are merely ordered last by the heuristic.
+	var passes [][]*petri.ECS
+	if e.opt.Engine == EngineTreeExhaustive {
+		passes = [][]*petri.ECS{enabled}
+	} else {
+		var nonSrc, src []*petri.ECS
+		for _, E := range enabled {
+			if E.IsSourceECS(e.net) {
+				src = append(src, E)
+			} else {
+				nonSrc = append(nonSrc, E)
+			}
+		}
+		passes = [][]*petri.ECS{nonSrc, src}
+	}
+	var best *treeNode
+	for _, pass := range passes {
+		for _, E := range pass {
+			got := e.epECS(E, v, target)
+			if e.over {
+				return nil
+			}
+			if got == nil {
+				continue
+			}
+			if isAncEq(got, target) {
+				v.chosenECS = E
+				return got
+			}
+			if e.opt.Engine != EngineTreeExhaustive {
+				// Greedy: the first valid entering point wins.
+				v.chosenECS = E
+				return got
+			}
+			if best == nil || got.depth < best.depth {
+				v.chosenECS = E
+				best = got
+			}
+		}
+		if best != nil {
+			break
+		}
+	}
+	if best == nil {
+		v.chosenECS = nil
+	}
+	return best
+}
+
+// epECS implements function EP_ECS(E, v, target) of Figure 9(b): create a
+// child of v per transition of E and find the minimum entering point,
+// provided each child yields one that is an ancestor of v.
+func (e *engine) epECS(E *petri.ECS, v, target *treeNode) *treeNode {
+	var min *treeNode
+	curTarget := target
+	var kids []*treeNode
+	for _, tid := range E.Trans {
+		t := e.net.Transitions[tid]
+		w := e.newNode(v, tid, v.marking.Fire(t))
+		if e.over {
+			return nil
+		}
+		kids = append(kids, w)
+		got := e.ep(w, curTarget)
+		if got == nil || !isAncEq(got, v) {
+			return nil
+		}
+		if min == nil || got.depth < min.depth {
+			min = got
+		}
+		if isAncEq(min, target) {
+			curTarget = v
+		}
+	}
+	if v.kids == nil {
+		v.kids = map[int][]*treeNode{}
+	}
+	v.kids[E.Index] = kids
+	return min
+}
+
+// enabledECS lists the ECSs enabled at m, excluding — in single-source
+// mode — uncontrollable sources other than the schedule's own.
+func (e *engine) enabledECS(m petri.Marking) []*petri.ECS {
+	var out []*petri.ECS
+	for _, E := range e.part {
+		if !e.opt.MultiSource && E.IsUncontrollable(e.net) && E.Trans[0] != e.source {
+			continue
+		}
+		if E.Enabled(e.net, m) {
+			out = append(out, E)
+		}
+	}
+	return out
+}
+
+// firedCounts returns how many times each transition fired on the path
+// from the root to v.
+func (e *engine) firedCounts(v *treeNode) []int {
+	counts := make([]int, len(e.net.Transitions))
+	for u := v; u != nil && u.inTrans >= 0; u = u.parent {
+		counts[u.inTrans]++
+	}
+	return counts
+}
+
+// buildSchedule performs the post-processing of Section 5.2: retain only
+// the subtree selected by the chosen ECSs, and close a cycle at each
+// retained leaf by merging it with the ancestor carrying its marking.
+func (e *engine) buildSchedule(root *treeNode) *Schedule {
+	sched := &Schedule{Net: e.net, Source: e.source, Stats: e.stats}
+	nodeOf := map[*treeNode]*Node{}
+	var mk func(t *treeNode) *Node
+	mk = func(t *treeNode) *Node {
+		if n, ok := nodeOf[t]; ok {
+			return n
+		}
+		n := &Node{ID: len(sched.Nodes), Marking: t.marking, ECS: t.chosenECS}
+		nodeOf[t] = n
+		sched.Nodes = append(sched.Nodes, n)
+		if t.chosenECS == nil {
+			// Defensive: leaves are supposed to be redirected by their
+			// parents and never materialized.
+			return n
+		}
+		for _, kid := range t.kids[t.chosenECS.Index] {
+			dest := kid
+			if kid.entry != nil {
+				dest = kid.entry
+			}
+			n.Edges = append(n.Edges, Edge{Trans: kid.inTrans, To: mk(dest)})
+		}
+		return n
+	}
+	sched.Root = mk(root)
+	sched.Stats.NodesKept = len(sched.Nodes)
+	return sched
+}

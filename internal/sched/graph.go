@@ -1,0 +1,586 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/petri"
+)
+
+// Marking-graph engine.
+//
+// The paper's EP/EP_ECS procedure explores the reachability *tree*;
+// equal markings reached along different interleavings are re-explored,
+// which is exponential for multi-process systems. This engine searches
+// the reachability *graph* instead: schedules are positional objects
+// ("which ECS do I fire at this marking"), and a tree schedule whose
+// markings lie inside the explored space always induces a positional
+// one, so nothing is lost (see DESIGN.md for the argument; the paper
+// itself leaves the exactness of its pruning open).
+//
+// The engine:
+//  1. enumerates the markings reachable under per-place caps derived
+//     from the termination condition (the irrelevance criterion caps a
+//     place at degree + max input weight — the most a single firing can
+//     overshoot a saturated place; user place bounds cap directly);
+//  2. computes the largest set X of markings such that every marking in
+//     X has at least one allowed ECS whose successors all stay in X and
+//     every marking in X can still reach the initial marking inside X
+//     (an alternating closure/reachability fixpoint);
+//  3. picks per marking the best surviving ECS (prefer internal
+//     transitions over awaits, honor SELECT priorities, then walk down
+//     the distance-to-root ranking) and emits the induced sub-graph as
+//     the schedule.
+
+// CapProvider is implemented by termination conditions that can bound
+// the token count of each place for the graph engine.
+type CapProvider interface {
+	Caps(n *petri.Net) []int
+}
+
+// Caps implements CapProvider: the graph engine bounds every place at
+// its structural degree (Def. 4.4) — "the best one can extract from the
+// PN structure about place bounds" in the paper's words. Accumulating
+// tokens beyond the degree cannot enable new behaviour at the place
+// itself, and bounding there keeps the marking graph small; nets whose
+// schedules genuinely need deeper buffers can supply explicit
+// PlaceBounds.
+func (ir *Irrelevance) Caps(n *petri.Net) []int {
+	caps := make([]int, len(n.Places))
+	for i, p := range n.Places {
+		caps[i] = ir.degrees[i]
+		if caps[i] < p.Initial {
+			caps[i] = p.Initial
+		}
+	}
+	return caps
+}
+
+// Caps implements CapProvider: explicit bounds cap directly; unbounded
+// places fall back to the irrelevance cap.
+func (pb *PlaceBounds) Caps(n *petri.Net) []int {
+	fallback := NewIrrelevance(n).Caps(n)
+	caps := make([]int, len(n.Places))
+	for i := range caps {
+		if pb.Bounds[i] > 0 {
+			caps[i] = pb.Bounds[i]
+		} else {
+			caps[i] = fallback[i]
+		}
+	}
+	return caps
+}
+
+// Caps implements CapProvider: the elementwise minimum over members
+// that provide caps.
+func (a Any) Caps(n *petri.Net) []int {
+	var out []int
+	for _, t := range a {
+		cp, ok := t.(CapProvider)
+		if !ok {
+			continue
+		}
+		c := cp.Caps(n)
+		if out == nil {
+			out = c
+			continue
+		}
+		for i := range out {
+			if c[i] < out[i] {
+				out[i] = c[i]
+			}
+		}
+	}
+	return out
+}
+
+type gstate struct {
+	id int
+	m  petri.Marking
+	// ecs lists the allowed enabled ECSs; succ[i][j] is the state of
+	// firing transition j of ecs[i], or -1 when the successor exceeds
+	// the caps (making the ECS unusable).
+	ecs  []*petri.ECS
+	succ [][]int
+
+	inX    bool
+	rank   int // lfp stage of the reachability pass; -1 = unreached
+	choice int // chosen ECS index; -1 = none
+}
+
+type graphEngine struct {
+	net    *petri.Net
+	source int
+	opt    Options
+	part   []*petri.ECS
+	caps   []int
+
+	states []*gstate
+	index  map[string]int
+	over   bool
+}
+
+func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error) {
+	ge := &graphEngine{
+		net:    n,
+		source: source,
+		opt:    opt,
+		part:   n.ECSPartition(),
+		index:  map[string]int{},
+	}
+	if cp, ok := opt.Term.(CapProvider); ok {
+		ge.caps = cp.Caps(n)
+	} else {
+		ge.caps = NewIrrelevance(n).Caps(n)
+	}
+	st := n.Transitions[source]
+	m0 := n.InitialMarking()
+	rootID := ge.intern(m0)
+	ge.explore()
+	if ge.over {
+		return nil, fmt.Errorf("sched: source %s: %w (graph engine, %d states)", st.Name, ErrBudget, len(ge.states))
+	}
+	if !ge.solve(rootID) {
+		return nil, fmt.Errorf("sched: source %s under %s: %w (graph engine, %d states)",
+			st.Name, ge.opt.Term.Name(), ErrNoSchedule, len(ge.states))
+	}
+	s := ge.build(rootID)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: internal error: graph engine produced invalid schedule: %v", err)
+	}
+	return s, nil
+}
+
+func (ge *graphEngine) intern(m petri.Marking) int {
+	key := m.Key()
+	if id, ok := ge.index[key]; ok {
+		return id
+	}
+	id := len(ge.states)
+	if id >= ge.opt.MaxNodes {
+		ge.over = true
+		return -1
+	}
+	ge.states = append(ge.states, &gstate{id: id, m: m, choice: -1, rank: -1})
+	ge.index[key] = id
+	return id
+}
+
+// allowed reports whether the ECS may appear in this schedule.
+func (ge *graphEngine) allowed(E *petri.ECS) bool {
+	if !ge.opt.MultiSource && E.IsUncontrollable(ge.net) && E.Trans[0] != ge.source {
+		return false
+	}
+	return true
+}
+
+func (ge *graphEngine) withinCaps(m petri.Marking) bool {
+	for i, v := range m {
+		if v > ge.caps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// explore runs the bounded forward BFS.
+func (ge *graphEngine) explore() {
+	for qi := 0; qi < len(ge.states) && !ge.over; qi++ {
+		s := ge.states[qi]
+		for _, E := range ge.part {
+			if !ge.allowed(E) || !E.Enabled(ge.net, s.m) {
+				continue
+			}
+			succ := make([]int, len(E.Trans))
+			for j, tid := range E.Trans {
+				next := s.m.Fire(ge.net.Transitions[tid])
+				if !ge.withinCaps(next) {
+					succ[j] = -1
+					continue
+				}
+				succ[j] = ge.intern(next)
+				if ge.over {
+					return
+				}
+			}
+			s.ecs = append(s.ecs, E)
+			s.succ = append(s.succ, succ)
+		}
+	}
+}
+
+// ecsUsable reports whether ECS i of state s keeps all successors inside
+// the current X set.
+func (ge *graphEngine) ecsUsable(s *gstate, i int) bool {
+	for _, t := range s.succ[i] {
+		if t < 0 || !ge.states[t].inX {
+			return false
+		}
+	}
+	return true
+}
+
+// solve runs the alternating fixpoint; it returns true when the initial
+// marking admits a schedule (the root's source successor stays in X).
+func (ge *graphEngine) solve(rootID int) bool {
+	for _, s := range ge.states {
+		s.inX = true
+	}
+	for {
+		changed := false
+		// Closure: a state needs at least one usable ECS; removals
+		// cascade across outer rounds.
+		for _, s := range ge.states {
+			if !s.inX {
+				continue
+			}
+			ok := false
+			for i := range s.ecs {
+				if ge.ecsUsable(s, i) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				s.inX = false
+				changed = true
+			}
+		}
+		if !ge.states[rootID].inX {
+			return false
+		}
+		ge.computeRanks(rootID)
+		for _, s := range ge.states {
+			if s.inX && s.rank < 0 {
+				s.inX = false
+				changed = true
+			}
+		}
+		if !ge.states[rootID].inX {
+			return false
+		}
+		if !changed {
+			break
+		}
+	}
+	// The root must be able to fire the source and stay in X.
+	root := ge.states[rootID]
+	for i, E := range root.ecs {
+		if len(E.Trans) == 1 && E.Trans[0] == ge.source && ge.ecsUsable(root, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// occupancyWeight is the rank penalty per buffered token: paths through
+// low-occupancy markings are strongly preferred, which is what makes the
+// synthesized channel bounds minimal (unit buffers for the PFC app).
+const occupancyWeight = 64
+
+// computeRanks runs a reverse Dijkstra from the root within X: rank(s) =
+// min over usable ECSs and successors t of w(s) + rank(t), with
+// w(s) = 1 + occupancyWeight * occupancy(s). A state with a finite rank
+// can reach the root inside X; following any rank-decreasing choice
+// yields property 5 of the schedule definition.
+func (ge *graphEngine) computeRanks(rootID int) {
+	for _, s := range ge.states {
+		s.rank = -1
+	}
+	// Reverse adjacency restricted to usable ECS edges.
+	rev := make([][]int32, len(ge.states)) // target -> sources
+	for _, s := range ge.states {
+		if !s.inX {
+			continue
+		}
+		for i := range s.ecs {
+			if !ge.ecsUsable(s, i) {
+				continue
+			}
+			for _, t := range s.succ[i] {
+				rev[t] = append(rev[t], int32(s.id))
+			}
+		}
+	}
+	weight := func(s *gstate) int {
+		return 1 + occupancyWeight*ge.occupancy(s.m)
+	}
+	dist := make([]int, len(ge.states))
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	dist[rootID] = 0
+	h := &rankHeap{items: []rankItem{{id: rootID, d: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.id] {
+			continue
+		}
+		for _, sid := range rev[it.id] {
+			s := ge.states[sid]
+			cand := it.d + weight(s)
+			if cand < dist[sid] {
+				dist[sid] = cand
+				h.push(rankItem{id: int(sid), d: cand})
+			}
+		}
+	}
+	for _, s := range ge.states {
+		if s.inX && dist[s.id] < 1<<30 {
+			s.rank = dist[s.id]
+		}
+	}
+}
+
+type rankItem struct {
+	id int
+	d  int
+}
+
+// rankHeap is a minimal binary min-heap on d.
+type rankHeap struct {
+	items []rankItem
+}
+
+func (h *rankHeap) Len() int { return len(h.items) }
+
+func (h *rankHeap) push(it rankItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].d <= h.items[i].d {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *rankHeap) pop() rankItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// selArmIndex returns the SELECT arm priority of a singleton ECS, or a
+// large value for non-arms.
+func (ge *graphEngine) selArmIndex(E *petri.ECS) int {
+	if len(E.Trans) != 1 {
+		return 1 << 20
+	}
+	t := ge.net.Transitions[E.Trans[0]]
+	for _, a := range t.In {
+		p := ge.net.Places[a.Place]
+		if ci, ok := p.Cond.(*compile.ChoiceInfo); ok && ci.Kind == compile.ChoiceSelect {
+			if len(t.Label) > 3 && t.Label[:3] == "sel" {
+				idx := 0
+				for _, c := range t.Label[3:] {
+					if c < '0' || c > '9' {
+						return 1 << 20
+					}
+					idx = idx*10 + int(c-'0')
+				}
+				return idx
+			}
+		}
+	}
+	return 1 << 20
+}
+
+// occupancy returns the total channel/port token count of a marking —
+// the buffer memory the marking pins down.
+func (ge *graphEngine) occupancy(m petri.Marking) int {
+	total := 0
+	for i, v := range m {
+		switch ge.net.Places[i].Kind {
+		case petri.PlaceChannel, petri.PlacePort:
+			total += v
+		}
+	}
+	return total
+}
+
+// choose picks σ(s): a usable ECS that makes progress toward the root
+// (some successor with smaller rank — this alone guarantees property 5),
+// preferring internal activity over awaits, honoring SELECT arm
+// priorities, and keeping channel occupancy low so synthesized buffers
+// stay minimal (the paper's PFC result: all channels of unit size).
+func (ge *graphEngine) choose(s *gstate) int {
+	type cand struct {
+		i   int
+		key [5]int
+	}
+	var cands []cand
+	for i, E := range s.ecs {
+		if !ge.ecsUsable(s, i) {
+			continue
+		}
+		minSucc := 1 << 30
+		for _, t := range s.succ[i] {
+			if r := ge.states[t].rank; r >= 0 && r < minSucc {
+				minSucc = r
+			}
+		}
+		if minSucc >= s.rank {
+			continue // no progress toward the root via this ECS
+		}
+		var key [5]int
+		if E.IsSourceECS(ge.net) {
+			key[0] = 1
+		}
+		key[1] = ge.selArmIndex(E)
+		key[2] = minSucc
+		key[3] = E.Index
+		cands = append(cands, cand{i: i, key: key})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		for k := 0; k < len(cands[a].key); k++ {
+			if cands[a].key[k] != cands[b].key[k] {
+				return cands[a].key[k] < cands[b].key[k]
+			}
+		}
+		return false
+	})
+	return cands[0].i
+}
+
+// build emits the schedule induced by σ from the root.
+func (ge *graphEngine) build(rootID int) *Schedule {
+	s := &Schedule{Net: ge.net, Source: ge.source}
+	s.Stats = SearchStats{NodesCreated: len(ge.states)}
+	nodeOf := map[int]*Node{}
+	var mk func(id int) *Node
+	mk = func(id int) *Node {
+		if n, ok := nodeOf[id]; ok {
+			return n
+		}
+		st := ge.states[id]
+		n := &Node{ID: len(s.Nodes), Marking: st.m}
+		nodeOf[id] = n
+		s.Nodes = append(s.Nodes, n)
+		var ecsIdx int
+		if id == rootID {
+			// The root fires the source.
+			ecsIdx = -1
+			for i, E := range st.ecs {
+				if len(E.Trans) == 1 && E.Trans[0] == ge.source {
+					ecsIdx = i
+					break
+				}
+			}
+		} else {
+			ecsIdx = ge.choose(st)
+		}
+		if ecsIdx < 0 {
+			return n // defensive; solve() guarantees a choice
+		}
+		n.ECS = st.ecs[ecsIdx]
+		for j, tid := range st.ecs[ecsIdx].Trans {
+			n.Edges = append(n.Edges, Edge{Trans: tid, To: mk(st.succ[ecsIdx][j])})
+		}
+		return n
+	}
+	s.Root = mk(rootID)
+	s.Stats.NodesKept = len(s.Nodes)
+	return s
+}
+
+// GraphDiagnosis reports why the graph engine rejected a net — which
+// markings deadlock (no allowed ECS enabled) or are cap-dead (every
+// enabled ECS has a successor beyond the place caps), and which states
+// survived the fixpoint. It is a debugging aid for specification
+// authors chasing false paths (Section 7.2).
+type GraphDiagnosis struct {
+	States    int
+	Deadlocks []petri.Marking // no allowed ECS enabled at all
+	CapDead   []petri.Marking // every ECS escapes the caps
+	RootInX   bool
+	Solved    bool
+	// FirstRemoved lists sample markings removed by the fixpoint's
+	// first closure round excluding the plain dead ones — the frontier
+	// of the poisoning cascade.
+	FirstRemoved []petri.Marking
+}
+
+// Diagnose runs the graph engine's exploration and fixpoint and reports
+// the failure structure. The sample lists are truncated to 16 entries.
+func Diagnose(n *petri.Net, source int, opt *Options) *GraphDiagnosis {
+	eff := opt.withDefaults(n, source)
+	ge := &graphEngine{
+		net:    n,
+		source: source,
+		opt:    eff,
+		part:   n.ECSPartition(),
+		index:  map[string]int{},
+	}
+	if cp, ok := eff.Term.(CapProvider); ok {
+		ge.caps = cp.Caps(n)
+	} else {
+		ge.caps = NewIrrelevance(n).Caps(n)
+	}
+	rootID := ge.intern(n.InitialMarking())
+	ge.explore()
+	d := &GraphDiagnosis{States: len(ge.states)}
+	const maxSample = 16
+	plainDead := map[int]bool{}
+	for _, s := range ge.states {
+		if len(s.ecs) == 0 {
+			plainDead[s.id] = true
+			if len(d.Deadlocks) < maxSample {
+				d.Deadlocks = append(d.Deadlocks, s.m)
+			}
+			continue
+		}
+		usable := false
+		for i := range s.succ {
+			ok := true
+			for _, t := range s.succ[i] {
+				if t < 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				usable = true
+				break
+			}
+		}
+		if !usable {
+			plainDead[s.id] = true
+			if len(d.CapDead) < maxSample {
+				d.CapDead = append(d.CapDead, s.m)
+			}
+		}
+	}
+	d.Solved = ge.solve(rootID)
+	d.RootInX = ge.states[rootID].inX
+	for _, s := range ge.states {
+		if !s.inX && !plainDead[s.id] && len(d.FirstRemoved) < maxSample {
+			d.FirstRemoved = append(d.FirstRemoved, s.m)
+		}
+	}
+	return d
+}

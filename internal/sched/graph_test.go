@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/petri"
+)
+
+func TestGraphEngineMatchesTreeOnFig8(t *testing.T) {
+	n := fig8Net(t)
+	graph, err := FindSchedule(n, 0, &Options{Engine: EngineGraph})
+	if err != nil {
+		t.Fatalf("graph engine: %v", err)
+	}
+	tree, err := FindSchedule(n, 0, &Options{Engine: EngineTreeExhaustive})
+	if err != nil {
+		t.Fatalf("tree engine: %v", err)
+	}
+	if len(graph.Nodes) != len(tree.Nodes) {
+		t.Errorf("graph schedule %d nodes, tree %d nodes", len(graph.Nodes), len(tree.Nodes))
+	}
+	// Same marking multiset.
+	count := func(s *Schedule) map[string]int {
+		out := map[string]int{}
+		for _, nd := range s.Nodes {
+			out[nd.Marking.Key()]++
+		}
+		return out
+	}
+	g, tr := count(graph), count(tree)
+	for k, v := range g {
+		if tr[k] != v {
+			t.Errorf("marking %q: graph %d, tree %d", k, v, tr[k])
+		}
+	}
+}
+
+func TestGraphEngineAllPaperNets(t *testing.T) {
+	// Every hand net of the paper figures must produce a valid schedule
+	// (or correctly fail) under the graph engine; the per-figure
+	// assertions live in paperfigs_test.go, this checks cross-engine
+	// agreement on schedulability.
+	type tc struct {
+		name  string
+		net   *petri.Net
+		wants bool
+	}
+	cases := []tc{
+		{"fig4a", fig4aNet(t), true},
+		{"fig4b-unc", fig4bNet(petri.TransSourceUnc), false},
+		{"fig4b-ctl", fig4bNet(petri.TransSourceCtl), true},
+		{"fig5", fig5Net(t), true},
+		{"fig6", fig6Net(t), true},
+		{"divider-k3", dividerNet(3), true},
+	}
+	for _, c := range cases {
+		for _, eng := range []Engine{EngineGraph, EngineTreeGreedy, EngineTreeExhaustive} {
+			_, err := FindSchedule(c.net, 0, &Options{Engine: eng, NoFallback: true, MaxNodes: 100000})
+			got := err == nil
+			if got != c.wants {
+				t.Errorf("%s engine %d: schedulable = %v, want %v (%v)", c.name, eng, got, c.wants, err)
+			}
+		}
+	}
+}
+
+func TestGraphEngineBudget(t *testing.T) {
+	n := fig6Net(t)
+	_, err := FindSchedule(n, 0, &Options{MaxNodes: 2})
+	if err == nil {
+		t.Fatal("tiny budget should fail")
+	}
+}
+
+func TestUserBoundsTermination(t *testing.T) {
+	// fig4a needs two tokens in p1; a user bound of 1 forbids it.
+	n := fig4aNet(t)
+	n.Places[0].Bound = 1
+	_, err := FindSchedule(n, 0, &Options{Term: UserBounds(n)})
+	if err == nil {
+		t.Fatal("user bound 1 should make fig4a unschedulable")
+	}
+	n.Places[0].Bound = 2
+	s, err := FindSchedule(n, 0, &Options{Term: UserBounds(n)})
+	if err != nil {
+		t.Fatalf("user bound 2 should admit the schedule: %v", err)
+	}
+	if got := s.PlaceBounds()[0]; got != 2 {
+		t.Errorf("bound used = %d, want 2", got)
+	}
+}
+
+func TestAnyTerminationCaps(t *testing.T) {
+	n := fig4aNet(t)
+	term := Any{NewIrrelevance(n), UniformBounds(n, 1)}
+	caps := term.Caps(n)
+	if caps[0] != 1 {
+		t.Errorf("Any caps should take the minimum, got %v", caps)
+	}
+	if _, err := FindSchedule(n, 0, &Options{Term: term}); err == nil {
+		t.Error("combined termination should inherit the tighter bound")
+	}
+	if !term.Prune(petri.Marking{2}, []petri.Marking{{0}}) {
+		t.Error("Any.Prune should trigger on the bounds member")
+	}
+	if term.Name() == "" {
+		t.Error("Any.Name empty")
+	}
+}
+
+func TestDepthLimitTermination(t *testing.T) {
+	n := fig8Net(t)
+	term := &DepthLimit{Max: 2}
+	if !term.Prune(petri.Marking{0, 0, 0}, []petri.Marking{{0, 0, 0}, {1, 0, 0}}) {
+		t.Error("depth 2 should prune with 2 ancestors")
+	}
+	// Too shallow for the e-cycle (needs depth ~5): tree search fails.
+	_, err := FindSchedule(n, 0, &Options{
+		Engine: EngineTreeExhaustive,
+		Term:   Any{NewIrrelevance(n), term},
+	})
+	if err == nil {
+		t.Error("depth limit 2 should defeat the fig8 search")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	// Unschedulable net: diagnosis must show the root leaving X.
+	n := fig4bNet(petri.TransSourceUnc)
+	d := Diagnose(n, 0, nil)
+	if d.Solved || d.RootInX {
+		t.Errorf("fig4b diagnosis: solved=%v rootInX=%v, want false/false", d.Solved, d.RootInX)
+	}
+	if d.States == 0 {
+		t.Error("diagnosis should report explored states")
+	}
+	// Schedulable net: solved.
+	d = Diagnose(fig5Net(t), 0, nil)
+	if !d.Solved {
+		t.Error("fig5 should diagnose as solvable")
+	}
+}
+
+func TestScheduleAwaitResume(t *testing.T) {
+	// fig6's SSS(a) has two await nodes; a run of a,a must resume at the
+	// intermediate await and return to the root await.
+	n := fig6Net(t)
+	s, err := FindSchedule(n, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := BuildRun([]*Schedule{s}, []int{0, 0}, nil)
+	if err != nil {
+		t.Fatalf("BuildRun: %v", err)
+	}
+	m := n.InitialMarking()
+	for _, tid := range run.Seq {
+		if !m.Enabled(n.Transitions[tid]) {
+			t.Fatalf("run not fireable at %s", n.Transitions[tid].Name)
+		}
+		m = m.Fire(n.Transitions[tid])
+	}
+	if !m.Equal(n.InitialMarking()) {
+		t.Errorf("two triggers should return fig6 to the initial marking, got %v", m)
+	}
+}
+
+func TestMutuallyIndependentDiagnostics(t *testing.T) {
+	n := fig6Net(t)
+	set, err := FindAll(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, why := MutuallyIndependent(set[0], set[1])
+	if ok || why == "" {
+		t.Errorf("fig6 schedules should report an interference diagnostic, got ok=%v %q", ok, why)
+	}
+	if bounds := CombinedPlaceBounds(set); len(bounds) != len(n.Places) {
+		t.Errorf("CombinedPlaceBounds length %d", len(bounds))
+	}
+	if CombinedPlaceBounds(nil) != nil {
+		t.Error("empty set should give nil bounds")
+	}
+}

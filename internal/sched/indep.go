@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// Independence of single-source schedules (Definition 4.3): two SS
+// schedules are mutually independent iff for every place involved in one,
+// the token count is constant over all await nodes of the other. An
+// independent set is executable with statically known channel bounds
+// (Proposition 4.2); for FlowC-derived nets every set of SS schedules is
+// independent (Proposition 4.3), and CheckIndependence verifies it.
+
+// MutuallyIndependent reports whether the two schedules satisfy
+// Definition 4.3, returning a diagnostic for the first violation.
+func MutuallyIndependent(a, b *Schedule) (bool, string) {
+	if ok, why := onePlaceConst(a, b); !ok {
+		return false, why
+	}
+	return onePlaceConst(b, a)
+}
+
+// onePlaceConst checks that every place involved in `user` holds a
+// constant count over the await nodes of `other`.
+func onePlaceConst(user, other *Schedule) (bool, string) {
+	awaits := other.AwaitNodes()
+	if len(awaits) == 0 {
+		return true, ""
+	}
+	for _, p := range user.InvolvedPlaces() {
+		v0 := awaits[0].Marking[p]
+		for _, w := range awaits[1:] {
+			if w.Marking[p] != v0 {
+				return false, fmt.Sprintf(
+					"place %s involved in schedule of %s varies (%d vs %d) across await nodes of schedule of %s",
+					user.Net.Places[p].Name, user.Net.Transitions[user.Source].Name,
+					v0, w.Marking[p], other.Net.Transitions[other.Source].Name)
+			}
+		}
+	}
+	return true, ""
+}
+
+// CheckIndependence verifies pairwise independence of a schedule set.
+func CheckIndependence(set []*Schedule) error {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if ok, why := MutuallyIndependent(set[i], set[j]); !ok {
+				return fmt.Errorf("sched: schedules not independent: %s", why)
+			}
+		}
+	}
+	return nil
+}
+
+// CombinedPlaceBounds returns, per place, the maximum token count over
+// the nodes of all schedules — the buffer sizes that make the whole task
+// set executable (Section 4.3).
+func CombinedPlaceBounds(set []*Schedule) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, len(set[0].Net.Places))
+	for _, s := range set {
+		for p, v := range s.PlaceBounds() {
+			if v > out[p] {
+				out[p] = v
+			}
+		}
+	}
+	return out
+}
+
+// Run is a run of a schedule set (Definition 4.1): the concatenated
+// transition firing sequence produced by serving a sequence of
+// uncontrollable source occurrences.
+type Run struct {
+	// Seq is the full fired transition sequence.
+	Seq []int
+	// Final maps each schedule's source transition to the await node
+	// where its traversal stopped.
+	Final map[int]*Node
+}
+
+// ChoiceResolver decides which out-edge to take at a node whose ECS has
+// several transitions (a data-dependent choice). It receives the node
+// and must return an index into node.Edges.
+type ChoiceResolver func(s *Schedule, n *Node) int
+
+// FirstEdge always takes edge 0 — a deterministic default resolver.
+func FirstEdge(_ *Schedule, _ *Node) int { return 0 }
+
+// BuildRun traverses the schedule set for the given sequence of
+// uncontrollable source transition IDs, resolving data choices with the
+// given resolver, and returns the induced run. It reproduces the game of
+// Section 4.2: each occurrence is served by walking its schedule from the
+// current await node to the next one.
+func BuildRun(set []*Schedule, inputs []int, resolve ChoiceResolver) (*Run, error) {
+	if resolve == nil {
+		resolve = FirstEdge
+	}
+	bySource := map[int]*Schedule{}
+	cur := map[int]*Node{}
+	for _, s := range set {
+		if _, dup := bySource[s.Source]; dup {
+			return nil, fmt.Errorf("sched: duplicate schedule for source %d", s.Source)
+		}
+		bySource[s.Source] = s
+		cur[s.Source] = s.Root
+	}
+	run := &Run{Final: cur}
+	for pos, src := range inputs {
+		s := bySource[src]
+		if s == nil {
+			return nil, fmt.Errorf("sched: input %d (position %d) has no schedule", src, pos)
+		}
+		n := cur[src]
+		// The await node's single out-edge fires the source itself.
+		if !s.IsAwait(n) {
+			return nil, fmt.Errorf("sched: schedule of source %d resumed at non-await node %d", src, n.ID)
+		}
+		run.Seq = append(run.Seq, n.Edges[0].Trans)
+		n = n.Edges[0].To
+		// Continue until the next await node.
+		for !s.IsAwait(n) {
+			var k int
+			if len(n.Edges) > 1 {
+				k = resolve(s, n)
+				if k < 0 || k >= len(n.Edges) {
+					return nil, fmt.Errorf("sched: resolver returned invalid edge %d at node %d", k, n.ID)
+				}
+			}
+			run.Seq = append(run.Seq, n.Edges[k].Trans)
+			n = n.Edges[k].To
+		}
+		cur[src] = n
+	}
+	return run, nil
+}
+
+// Executable checks Definition 4.2 on one concrete input sequence: the
+// transition sequence of the run must be fireable from the initial
+// marking of the net. It returns the final marking.
+func Executable(net *petri.Net, set []*Schedule, inputs []int, resolve ChoiceResolver) (petri.Marking, error) {
+	run, err := BuildRun(set, inputs, resolve)
+	if err != nil {
+		return nil, err
+	}
+	m := net.InitialMarking()
+	for i, tid := range run.Seq {
+		t := net.Transitions[tid]
+		if !m.Enabled(t) {
+			return nil, fmt.Errorf("sched: run not fireable: transition %s disabled at position %d", t.Name, i)
+		}
+		m = m.Fire(t)
+	}
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// Channel is a FIFO of integers with an optional capacity, shared by the
+// two executors. Capacity 0 means unbounded.
+type Channel struct {
+	Name     string
+	Capacity int
+	buf      []int64
+
+	// Stats.
+	Reads, Writes int64 // completed operations
+	ItemsMoved    int64
+	MaxOccupancy  int
+	BlockedReads  int64 // operations that had to wait at least once
+	BlockedWrites int64
+}
+
+// NewChannel creates a channel. capacity 0 = unbounded.
+func NewChannel(name string, capacity int) *Channel {
+	return &Channel{Name: name, Capacity: capacity}
+}
+
+// Len returns the current occupancy.
+func (c *Channel) Len() int { return len(c.buf) }
+
+// Space returns the free space, or a large number for unbounded
+// channels.
+func (c *Channel) Space() int {
+	if c.Capacity <= 0 {
+		return 1 << 30
+	}
+	return c.Capacity - len(c.buf)
+}
+
+// CanRead reports whether n items are available.
+func (c *Channel) CanRead(n int) bool { return len(c.buf) >= n }
+
+// CanWrite reports whether n items fit.
+func (c *Channel) CanWrite(n int) bool { return c.Space() >= n }
+
+// Read removes n items; the caller must have checked CanRead.
+func (c *Channel) Read(n int) ([]int64, error) {
+	if !c.CanRead(n) {
+		return nil, fmt.Errorf("sim: channel %s: read %d with %d available", c.Name, n, len(c.buf))
+	}
+	out := make([]int64, n)
+	copy(out, c.buf[:n])
+	c.buf = c.buf[n:]
+	c.Reads++
+	c.ItemsMoved += int64(n)
+	return out, nil
+}
+
+// Write appends n items; the caller must have checked CanWrite.
+func (c *Channel) Write(vals []int64) error {
+	if !c.CanWrite(len(vals)) {
+		return fmt.Errorf("sim: channel %s: write %d with %d free", c.Name, len(vals), c.Space())
+	}
+	c.buf = append(c.buf, vals...)
+	if len(c.buf) > c.MaxOccupancy {
+		c.MaxOccupancy = len(c.buf)
+	}
+	c.Writes++
+	c.ItemsMoved += int64(len(vals))
+	return nil
+}
+
+// InputStream models an environment input port: a queue of values
+// provided by the test harness or workload generator.
+type InputStream struct {
+	Name string
+	vals []int64
+	// Consumed counts values delivered to the system.
+	Consumed int64
+}
+
+// NewInputStream creates a stream with the given initial values.
+func NewInputStream(name string, vals ...int64) *InputStream {
+	return &InputStream{Name: name, vals: append([]int64(nil), vals...)}
+}
+
+// Push appends values (the environment producing more input).
+func (s *InputStream) Push(vals ...int64) { s.vals = append(s.vals, vals...) }
+
+// Len returns the number of queued values.
+func (s *InputStream) Len() int { return len(s.vals) }
+
+// Pop removes and returns the next n values.
+func (s *InputStream) Pop(n int) ([]int64, error) {
+	if len(s.vals) < n {
+		return nil, fmt.Errorf("sim: input %s exhausted (want %d, have %d)", s.Name, n, len(s.vals))
+	}
+	out := make([]int64, n)
+	copy(out, s.vals[:n])
+	s.vals = s.vals[n:]
+	s.Consumed += int64(n)
+	return out, nil
+}
+
+// OutputStream collects values delivered to an environment output port.
+type OutputStream struct {
+	Name string
+	Vals []int64
+}
+
+// Append records delivered values.
+func (s *OutputStream) Append(vals ...int64) { s.Vals = append(s.Vals, vals...) }

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/compile"
+	"repro/internal/flowc"
+	"repro/internal/link"
+)
+
+// Code-size estimation (Table 2 of the paper). The model counts object
+// bytes per language construct; communication sites dominate: an inlined
+// communication primitive expands to buffer management, wrap-around and
+// blocking checks, while a collapsed intra-task channel is a plain
+// variable access. RTOS and static data are excluded, as in the paper.
+type SizeModel struct {
+	Name        string
+	OpB         int // per arithmetic/comparison operator
+	AssignB     int // per store
+	BranchB     int // per condition/branch construct
+	CommInlineB int // per inlined READ_DATA/WRITE_DATA site
+	CommCallB   int // per call-based communication site
+	LocalB      int // per intra-task buffer access site
+	EnvB        int // per environment port site (latch/post)
+	GotoB       int // per goto
+	LabelB      int // per label / switch head
+	CaseB       int // per switch case of a state jump
+	ProcGlueB   int // per-process task glue (entry, latching, RTOS hooks)
+	TaskGlueB   int // fixed glue of the synthesized single task
+}
+
+// Size models matching the cost presets.
+var (
+	SizePFC   = &SizeModel{Name: "pfc", OpB: 8, AssignB: 10, BranchB: 14, CommInlineB: 370, CommCallB: 36, LocalB: 10, EnvB: 36, GotoB: 4, LabelB: 4, CaseB: 12, ProcGlueB: 170, TaskGlueB: 120}
+	SizePFCO  = &SizeModel{Name: "pfc-O", OpB: 4, AssignB: 5, BranchB: 8, CommInlineB: 238, CommCallB: 22, LocalB: 5, EnvB: 18, GotoB: 4, LabelB: 4, CaseB: 8, ProcGlueB: 96, TaskGlueB: 64}
+	SizePFCO2 = &SizeModel{Name: "pfc-O2", OpB: 4, AssignB: 5, BranchB: 7, CommInlineB: 232, CommCallB: 21, LocalB: 5, EnvB: 18, GotoB: 4, LabelB: 4, CaseB: 8, ProcGlueB: 94, TaskGlueB: 62}
+)
+
+// SizeModels lists the models in the paper's order.
+func SizeModels() []*SizeModel { return []*SizeModel{SizePFC, SizePFCO, SizePFCO2} }
+
+// exprBytes estimates the object size of an expression.
+func (sm *SizeModel) exprBytes(e flowc.Expr) int {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *flowc.Ident, *flowc.IntLit:
+		return 0
+	case *flowc.Binary:
+		return sm.OpB + sm.exprBytes(x.L) + sm.exprBytes(x.R)
+	case *flowc.Unary:
+		return sm.OpB + sm.exprBytes(x.X)
+	case *flowc.Assign:
+		return sm.AssignB + sm.exprBytes(x.LHS) + sm.exprBytes(x.RHS)
+	case *flowc.IncDec:
+		return sm.AssignB
+	case *flowc.Index:
+		return sm.OpB + sm.exprBytes(x.Arr) + sm.exprBytes(x.Idx)
+	}
+	return sm.OpB
+}
+
+// commMode selects the per-site cost of a communication statement.
+type commMode int
+
+const (
+	commInlined commMode = iota
+	commCalled
+	commLocal
+	commEnv
+)
+
+func (sm *SizeModel) commBytes(mode commMode) int {
+	switch mode {
+	case commInlined:
+		return sm.CommInlineB
+	case commCalled:
+		return sm.CommCallB
+	case commEnv:
+		return sm.EnvB
+	default:
+		return sm.LocalB
+	}
+}
+
+// stmtBytes estimates a statement, with comm giving the cost of port
+// operations (which may vary per port via the resolve callback).
+func (sm *SizeModel) stmtBytes(s flowc.Stmt, resolve func(port string) commMode) int {
+	switch x := s.(type) {
+	case nil:
+		return 0
+	case *flowc.DeclStmt:
+		n := 0
+		for _, v := range x.Vars {
+			if v.Init != nil {
+				n += sm.AssignB + sm.exprBytes(v.Init)
+			}
+		}
+		return n
+	case *flowc.ExprStmt:
+		return sm.exprBytes(x.X)
+	case *flowc.Block:
+		n := 0
+		for _, st := range x.Stmts {
+			n += sm.stmtBytes(st, resolve)
+		}
+		return n
+	case *flowc.If:
+		return sm.BranchB + sm.exprBytes(x.Cond) + sm.stmtBytes(x.Then, resolve) + sm.stmtBytes(x.Else, resolve)
+	case *flowc.While:
+		return sm.BranchB + sm.exprBytes(x.Cond) + sm.stmtBytes(x.Body, resolve)
+	case *flowc.For:
+		return sm.BranchB + sm.stmtBytes(x.Init, resolve) + sm.exprBytes(x.Cond) + sm.exprBytes(x.Post) + sm.stmtBytes(x.Body, resolve)
+	case *flowc.Read:
+		return sm.commBytes(resolve(x.Port))
+	case *flowc.Write:
+		return sm.commBytes(resolve(x.Port))
+	case *flowc.Select:
+		n := sm.BranchB
+		for _, a := range x.Arms {
+			n += sm.BranchB // availability test
+			for _, st := range a.Body {
+				n += sm.stmtBytes(st, resolve)
+			}
+		}
+		return n
+	}
+	return 0
+}
+
+// ProcessSize estimates the object size of one process implemented as a
+// separate task (baseline). inline selects inlined communication;
+// environment ports always use the cheap latch/post glue.
+func (sm *SizeModel) ProcessSize(sys *link.System, p *flowc.Process, inline bool) int {
+	mode := commCalled
+	if inline {
+		mode = commInlined
+	}
+	resolve := func(port string) commMode {
+		if sys != nil {
+			if b := sys.PortBinding(p.Name, port); b != nil && b.Kind != link.BindChannel {
+				return commEnv
+			}
+		}
+		return mode
+	}
+	n := sm.ProcGlueB
+	for _, s := range p.Body.Stmts {
+		n += sm.stmtBytes(s, resolve)
+	}
+	return n
+}
+
+// BaselineSize estimates the total size of the N-task implementation.
+func (sm *SizeModel) BaselineSize(sys *link.System, inline bool) (total int, perProc map[string]int) {
+	perProc = map[string]int{}
+	for _, cp := range sys.Procs {
+		sz := sm.ProcessSize(sys, cp.Proc, inline)
+		perProc[cp.Proc.Name] = sz
+		total += sz
+	}
+	return total, perProc
+}
+
+// TaskSize estimates the object size of a synthesized task. Fragments
+// appear once per code-segment node (the traversal's sharing), intra-task
+// channel accesses are local, environment ports keep primitives.
+func (sm *SizeModel) TaskSize(task *codegen.Task, sys *link.System) int {
+	intra := task.IntraChannels(&codegen.SynthOptions{Sys: sys})
+	resolveFor := func(proc string) func(port string) commMode {
+		return func(port string) commMode {
+			if sys == nil {
+				return commLocal
+			}
+			b := sys.PortBinding(proc, port)
+			if b != nil && b.Kind == link.BindChannel {
+				if _, ok := intra[b.Channel.Place.ID]; ok {
+					return commLocal
+				}
+				return commInlined
+			}
+			return commEnv // environment ports use the latch/post glue
+		}
+	}
+	total := sm.TaskGlueB
+	// State variable declarations + init.
+	total += len(task.StateVars) * sm.AssignB
+	for _, seg := range task.Segments {
+		total += sm.LabelB
+		var walk func(n *codegen.SegNode)
+		walk = func(n *codegen.SegNode) {
+			if len(n.Edges) > 1 {
+				total += sm.BranchB
+			}
+			for _, e := range n.Edges {
+				t := task.Net.Transitions[e.Trans]
+				if frag, ok := t.Code.(*compile.Fragment); ok {
+					for _, st := range frag.Stmts {
+						total += sm.stmtBytes(st, resolveFor(frag.Process))
+					}
+				}
+				if e.Child != nil {
+					walk(e.Child)
+					continue
+				}
+				// Leaf: update assignments + jump.
+				total += len(e.Leaf.Update) * sm.AssignB
+				targets := map[int]bool{}
+				for _, st := range e.Leaf.States {
+					targets[st.NextECS] = true
+				}
+				if len(targets) <= 1 {
+					total += sm.GotoB
+				} else {
+					total += sm.LabelB + len(e.Leaf.States)*sm.CaseB
+				}
+			}
+		}
+		walk(seg.Root)
+	}
+	return total
+}
