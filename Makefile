@@ -1,0 +1,31 @@
+# CI entry points for the quasi-static synthesis repro.
+#
+#   make ci          — everything below, in order
+#   make build       — compile all packages
+#   make vet         — static analysis
+#   make test        — unit, property and determinism tests under -race
+#   make bench       — every benchmark once (shape assertions, no timing)
+#   make fuzz-smoke  — short-budget fuzz pass over both fuzz targets
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: ci build vet test bench fuzz-smoke
+
+ci: build vet test bench fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/flowc
+	$(GO) test -run='^$$' -fuzz=FuzzExplore -fuzztime=$(FUZZTIME) ./internal/petri

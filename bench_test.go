@@ -11,13 +11,16 @@ package repro
 // factor, and where the curves bend.
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/petri"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -128,14 +131,69 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkSynthesisPFC measures the full compile-link-schedule-codegen
 // flow on the video application (the paper reports "less than a minute";
-// the graph engine is far below that).
+// the graph engine is far below that). The synthesis cache is disabled:
+// this benchmark measures the flow, not the memo lookup.
 func BenchmarkSynthesisPFC(b *testing.B) {
+	opt := &core.Options{DisableCache: true}
 	for i := 0; i < b.N; i++ {
-		if _, err := apps.SynthesizePFC(); err != nil {
+		if _, err := core.Synthesize(apps.PFC, apps.PFCSpec, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkSynthesisPFCWarm measures the cached path of the same call:
+// after one priming run, every iteration is a hash plus a map lookup.
+// Comparing against BenchmarkSynthesisPFC gives the cache speedup
+// (expected to be far beyond the 10x acceptance floor).
+func BenchmarkSynthesisPFCWarm(b *testing.B) {
+	core.ResetCache()
+	defer core.ResetCache()
+	if _, err := core.Synthesize(apps.PFC, apps.PFCSpec, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(apps.PFC, apps.PFCSpec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// corpusBenchApps builds the fixed 24-app corpus shared by the batch
+// benchmarks (same seed: identical apps in both, so the serial/parallel
+// comparison is apples to apples).
+func corpusBenchApps() []*corpus.App {
+	return corpus.GenerateCorpus(7, 24, corpus.DefaultConfig())
+}
+
+func benchCorpus(b *testing.B, workers int) {
+	apps := corpusBenchApps()
+	// Per-app schedule searches stay serial: the batch scales over
+	// apps, and nesting both pools would contend for the same cores.
+	opt := corpus.BatchOptions{Workers: workers, Core: &core.Options{Workers: 1, DisableCache: true}}
+	done, elapsed := 0, 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := corpus.RunBatch(context.Background(), apps, opt)
+		if br.Failed > 0 {
+			b.Fatalf("%d corpus apps failed", br.Failed)
+		}
+		done += len(br.Results)
+		elapsed += br.Elapsed.Seconds()
+	}
+	b.ReportMetric(float64(done)/elapsed, "apps/s")
+}
+
+// BenchmarkCorpusSerial synthesizes the 24-app corpus one app at a
+// time — the scale-out baseline.
+func BenchmarkCorpusSerial(b *testing.B) { benchCorpus(b, 1) }
+
+// BenchmarkCorpusParallel synthesizes the same corpus on a GOMAXPROCS
+// worker pool. On a multi-core machine (GOMAXPROCS >= 4) this shows the
+// app-level speedup curve; on a single hardware thread it degenerates
+// to the serial timing.
+func BenchmarkCorpusParallel(b *testing.B) { benchCorpus(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkBaselinePerFrame measures baseline execution cost per frame.
 func BenchmarkBaselinePerFrame(b *testing.B) {

@@ -1,0 +1,107 @@
+// Command qssbatch generates a randomized corpus of FlowC applications
+// and synthesizes them concurrently, reporting aggregate throughput —
+// the scale-out driver for the quasi-static synthesis flow.
+//
+// Usage:
+//
+//	qssbatch [-n apps] [-seed N] [-workers N] [-compare] [shape flags] [-v]
+//
+// -workers bounds the number of concurrent app syntheses (0 =
+// GOMAXPROCS). -compare additionally runs the serial baseline and
+// prints the speedup. Shape flags mirror corpus.Config; see
+// internal/corpus.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	n := flag.Int("n", 20, "number of corpus apps to generate")
+	seed := flag.Int64("seed", 1, "master corpus seed")
+	workers := flag.Int("workers", 0, "concurrent app syntheses (0 = GOMAXPROCS)")
+	compare := flag.Bool("compare", false, "also run the serial baseline and report the speedup")
+	verbose := flag.Bool("v", false, "print one line per app")
+
+	cfg := corpus.DefaultConfig()
+	flag.IntVar(&cfg.MaxPipelines, "pipelines", cfg.MaxPipelines, "max pipelines (tasks) per app")
+	flag.IntVar(&cfg.MaxStages, "stages", cfg.MaxStages, "max stages per tree pipeline")
+	flag.IntVar(&cfg.MaxFanOut, "fanout", cfg.MaxFanOut, "max fan-out per stage")
+	flag.IntVar(&cfg.MaxOps, "ops", cfg.MaxOps, "max unrolled channel ops per edge")
+	flag.IntVar(&cfg.MaxWidth, "width", cfg.MaxWidth, "max multi-rate width per op")
+	flag.Float64Var(&cfg.ChoiceDensity, "choice", cfg.ChoiceDensity, "data-dependent tap probability per stage")
+	flag.Float64Var(&cfg.SelectDensity, "select", cfg.SelectDensity, "SELECT-drain pipeline probability")
+	flag.Float64Var(&cfg.BoundDensity, "bounds", cfg.BoundDensity, "explicit channel bound probability")
+	flag.Parse()
+
+	if *n < 0 {
+		fmt.Fprintln(os.Stderr, "qssbatch: -n must be >= 0")
+		os.Exit(2)
+	}
+	apps := corpus.GenerateCorpus(*seed, *n, cfg)
+	procs := 0
+	for _, a := range apps {
+		procs += a.Procs
+	}
+	fmt.Printf("corpus: %d apps, %d processes (seed %d)\n", len(apps), procs, *seed)
+
+	// The batch scales out over apps; keep the per-app schedule search
+	// serial so the two levels of parallelism do not contend.
+	copt := &core.Options{Workers: 1, DisableCache: true}
+
+	run := func(w int) *corpus.BatchResult {
+		return corpus.RunBatch(context.Background(), apps, corpus.BatchOptions{Workers: w, Core: copt})
+	}
+
+	var serial *corpus.BatchResult
+	if *compare {
+		serial = run(1)
+		report("serial", serial, *verbose)
+	}
+	br := run(*workers)
+	name := fmt.Sprintf("workers=%d", effectiveWorkers(*workers))
+	report(name, br, *verbose)
+	if serial != nil && br.Elapsed > 0 {
+		fmt.Printf("speedup: %.2fx\n", serial.Elapsed.Seconds()/br.Elapsed.Seconds())
+	}
+	if br.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func report(name string, br *corpus.BatchResult, verbose bool) {
+	if verbose {
+		for _, r := range br.Results {
+			if r.Err != nil {
+				fmt.Printf("  %-8s FAIL %v\n", r.App.Name, r.Err)
+				continue
+			}
+			fmt.Printf("  %-8s %2d task(s) %6d nodes  %8s\n",
+				r.App.Name, len(r.Res.Tasks), sumNodes(r.Res), r.Elapsed.Round(1000).String())
+		}
+	}
+	fmt.Printf("%s: %d apps in %v — %.1f apps/s, %d schedules, %d tasks, %d search nodes, %d failed\n",
+		name, len(br.Results), br.Elapsed.Round(1000000), br.Throughput(), br.Schedules, br.Tasks, br.NodesCreated, br.Failed)
+}
+
+func sumNodes(r *core.Result) int {
+	n := 0
+	for _, s := range r.Schedules {
+		n += s.Stats.NodesCreated
+	}
+	return n
+}

@@ -5,7 +5,31 @@
 // that regenerates the paper's evaluation.
 //
 // The implementation lives under internal/ (petri, flowc, compile, link,
-// sched, codegen, sim, core); command-line tools under cmd/; runnable
-// examples under examples/. The root holds the benchmark harness for the
-// paper's tables and figures (bench_test.go).
+// sched, codegen, sim, core, corpus); command-line tools under cmd/;
+// runnable examples under examples/. The root holds the benchmark
+// harness for the paper's tables and figures (bench_test.go) and the
+// Makefile driving CI (build, vet, race tests, one-shot benchmarks and
+// a fuzz smoke pass).
+//
+// # Concurrency and caching
+//
+// The core facade is a concurrent synthesis engine: the per-source
+// schedule searches of one system run on a bounded worker pool
+// (core.Options.Workers) with deterministic result ordering and
+// first-error cancellation via context (core.SynthesizeContext,
+// core.SynthesizeSystemContext). Results are memoized in a
+// content-addressed cache keyed by FlowC source, netlist and options,
+// so repeated synthesis of an unchanged app costs a hash and a map
+// lookup (core.Stats reports hit rates; core.ResetCache empties it).
+//
+// # Scenario corpus
+//
+// Beyond the four hand-written applications of internal/apps, the
+// internal/corpus package deterministically generates randomized-but-
+// valid FlowC process networks with auto-derived netlists, and
+// cmd/qssbatch synthesizes whole corpora concurrently, reporting
+// aggregate throughput. Property tests validate the paper's Definition
+// 4.1 invariants and the guaranteed channel bounds over every generated
+// app; fuzz targets (internal/flowc.FuzzParse, internal/petri.
+// FuzzExplore) harden the front end and the reachability utilities.
 package repro

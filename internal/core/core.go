@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/codegen"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/flowc"
 	"repro/internal/link"
 	"repro/internal/petri"
+	"repro/internal/pool"
 	"repro/internal/sched"
 )
 
@@ -26,6 +29,18 @@ type Options struct {
 	// schedule set (Prop. 4.3 makes it redundant for FlowC-derived
 	// UCPNs, but SELECT voids the guarantee, so the default is to check).
 	SkipIndependence bool
+	// Workers bounds the number of concurrent per-source schedule
+	// searches. 0 uses GOMAXPROCS, 1 forces the serial path. Every
+	// search is deterministic and independent of the others, so the
+	// result is byte-identical regardless of Workers. A custom
+	// Sched.Term or Sched.Order is shared across searches and must be
+	// safe for concurrent use when Workers > 1; the defaults are built
+	// fresh per search and always are.
+	Workers int
+	// DisableCache bypasses the content-addressed synthesis cache for
+	// this call. Only the textual entry points (Synthesize,
+	// SynthesizeContext) consult the cache; see cache.go.
+	DisableCache bool
 }
 
 // Result is the outcome of the full flow.
@@ -68,6 +83,29 @@ func (r *Result) ChannelBound(name string) int {
 // Synthesize runs the full flow on FlowC source text and a netlist in
 // the textual system format.
 func Synthesize(flowcSrc, specSrc string, opt *Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), flowcSrc, specSrc, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the schedule
+// searches stop dispatching as soon as ctx is done. It is also the
+// cached entry point — repeated synthesis of the same sources under the
+// same options returns the memoized Result (see cache.go). Cached
+// Results are shared; callers must treat them as read-only.
+func SynthesizeContext(ctx context.Context, flowcSrc, specSrc string, opt *Options) (*Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	// A cancelled call must fail even on a cache hit, or cancellation
+	// would depend on what happens to be cached.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	key, cacheable := cacheKey(flowcSrc, specSrc, opt)
+	if cacheable {
+		if r, ok := synthCache.get(key); ok {
+			return r, nil
+		}
+	}
 	f, err := flowc.ParseFile(flowcSrc)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse FlowC: %w", err)
@@ -76,11 +114,26 @@ func Synthesize(flowcSrc, specSrc string, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: parse netlist: %w", err)
 	}
-	return SynthesizeSystem(f, spec, opt)
+	res, err := SynthesizeSystemContext(ctx, f, spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		synthCache.put(key, res)
+	}
+	return res, nil
 }
 
 // SynthesizeSystem runs the flow on parsed inputs.
 func SynthesizeSystem(f *flowc.File, spec *link.Spec, opt *Options) (*Result, error) {
+	return SynthesizeSystemContext(context.Background(), f, spec, opt)
+}
+
+// SynthesizeSystemContext runs the flow on parsed inputs with
+// cancellation. The per-source schedule searches run on a bounded
+// worker pool (see Options.Workers); the first search error cancels the
+// remaining work.
+func SynthesizeSystemContext(ctx context.Context, f *flowc.File, spec *link.Spec, opt *Options) (*Result, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
@@ -105,12 +158,9 @@ func SynthesizeSystem(f *flowc.File, spec *link.Spec, opt *Options) (*Result, er
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: system %s has no uncontrollable inputs; nothing triggers a task", spec.Name)
 	}
-	for _, src := range sources {
-		s, err := sched.FindSchedule(sys.Net, src, opt.Sched)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		res.Schedules = append(res.Schedules, s)
+	res.Schedules, err = findSchedules(ctx, sys.Net, sources, opt)
+	if err != nil {
+		return nil, err
 	}
 	if !opt.SkipIndependence {
 		if err := sched.CheckIndependence(res.Schedules); err != nil {
@@ -133,6 +183,56 @@ func SynthesizeSystem(f *flowc.File, spec *link.Spec, opt *Options) (*Result, er
 		})
 	}
 	return res, nil
+}
+
+// findSchedules runs one schedule search per uncontrollable source on a
+// bounded worker pool. Results are ordered by source index regardless of
+// completion order; the first error cancels the dispatch of pending
+// searches, and the lowest-index error is reported for determinism.
+func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Options) ([]*sched.Schedule, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	out := make([]*sched.Schedule, len(sources))
+	if workers <= 1 {
+		for i, src := range sources {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			s, err := sched.FindSchedule(n, src, opt.Sched)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	// The net's adjacency caches are built lazily and unsynchronized;
+	// build them before the read-only fan-out.
+	n.Warm()
+	errs := make([]error, len(sources))
+	pool.Run(ctx, len(sources), workers, func(i int, cancel context.CancelFunc) {
+		s, err := sched.FindSchedule(n, sources[i], opt.Sched)
+		if err != nil {
+			errs[i] = err
+			cancel() // first error: stop dispatching pending searches
+			return
+		}
+		out[i] = s
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return out, nil
 }
 
 // sharedChannels finds channel places touched (with token flow) by more

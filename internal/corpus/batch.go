@@ -1,0 +1,89 @@
+package corpus
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+)
+
+// BatchOptions configures a corpus batch run.
+type BatchOptions struct {
+	// Workers bounds the number of apps synthesized concurrently.
+	// 0 uses GOMAXPROCS, 1 is the serial baseline.
+	Workers int
+	// Core is applied to every synthesis (nil = defaults). Note that
+	// per-app schedule searches have their own pool (core
+	// Options.Workers); for app-level scaling measurements set
+	// Core.Workers to 1.
+	Core *core.Options
+}
+
+// AppResult is the outcome of synthesizing one corpus app.
+type AppResult struct {
+	App     *App
+	Res     *core.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// BatchResult aggregates a corpus run. Results is ordered like the
+// input apps regardless of completion order.
+type BatchResult struct {
+	Results   []AppResult
+	Elapsed   time.Duration
+	Failed    int
+	Schedules int
+	Tasks     int
+	// NodesCreated sums the search effort over all schedules.
+	NodesCreated int
+}
+
+// Throughput returns synthesized apps per second of wall-clock time.
+func (b *BatchResult) Throughput() float64 {
+	if b.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(b.Results)-b.Failed) / b.Elapsed.Seconds()
+}
+
+// RunBatch synthesizes every app on a bounded worker pool. Per-app
+// failures are recorded, not fatal: a corpus sweep reports all
+// outcomes. Cancelling ctx stops the dispatch of pending apps (their
+// results carry the context error).
+func RunBatch(ctx context.Context, apps []*App, opt BatchOptions) *BatchResult {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	br := &BatchResult{Results: make([]AppResult, len(apps))}
+	start := time.Now()
+	dispatched := pool.Run(ctx, len(apps), workers, func(i int, _ context.CancelFunc) {
+		app := apps[i]
+		t0 := time.Now()
+		res, err := core.SynthesizeContext(ctx, app.FlowC, app.Spec, opt.Core)
+		br.Results[i] = AppResult{App: app, Res: res, Err: err, Elapsed: time.Since(t0)}
+	})
+	// Dispatch stops early only on cancellation; mark what never ran.
+	for j := dispatched; j < len(apps); j++ {
+		br.Results[j] = AppResult{App: apps[j], Err: ctx.Err()}
+	}
+	br.Elapsed = time.Since(start)
+	for i := range br.Results {
+		r := &br.Results[i]
+		if r.Err != nil {
+			br.Failed++
+			continue
+		}
+		if r.Res != nil {
+			br.Schedules += len(r.Res.Schedules)
+			br.Tasks += len(r.Res.Tasks)
+			for _, s := range r.Res.Schedules {
+				br.NodesCreated += s.Stats.NodesCreated
+			}
+		}
+	}
+	return br
+}

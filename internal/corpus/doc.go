@@ -1,0 +1,56 @@
+// Package corpus deterministically generates randomized-but-valid FlowC
+// process networks, each paired with an auto-derived link spec, for
+// fuzzing, property testing and throughput benchmarking of the
+// synthesis flow far beyond the four hand-written seed applications.
+//
+// # Validity by construction
+//
+// The compiler abstracts data: a non-constant loop or branch becomes a
+// free data-dependent choice in the Petri net, so its iteration count
+// is unknown to the scheduler. A generated network is therefore kept
+// quasi-statically schedulable by composing only patterns whose channel
+// token counts are structurally fixed:
+//
+//   - inter-process channels carry straight-line bursts — K unrolled
+//     WRITE_DATA operations of width W per activation, matched by K
+//     unrolled READ_DATA operations of the same width downstream
+//     (multi-rate when W > 1, Section 3 of the paper);
+//   - data-dependent loops and branches either stay port-free (pure
+//     compute, invisible to the net) or write exclusively to
+//     environment outputs, which the scheduler drains via controllable
+//     sink transitions (the Figure 1 divisors pattern);
+//   - data-dependent burst lengths across a channel use the Section 7.2
+//     SELECT-drain idiom: a producer emits a variable pixel burst plus
+//     an end-of-line marker, the consumer drains with SELECT, and an
+//     acknowledgement keeps one burst in flight.
+//
+// # Topology and knobs
+//
+// An app is a set of independent pipelines, each triggered by its own
+// uncontrollable environment input (so synthesis produces one task per
+// pipeline and the per-source searches parallelize). A pipeline is
+// either a fan-out tree of fixed-rate stages or a SELECT-drain pair.
+// Config controls the shape distribution:
+//
+//   - MinPipelines/MaxPipelines — independent pipelines (= tasks) per app;
+//   - MinStages/MaxStages — processes per tree pipeline;
+//   - MaxFanOut — downstream consumers per stage;
+//   - MaxOps — unrolled channel operations per edge (burst length);
+//   - MaxWidth — items per single READ_DATA/WRITE_DATA (multi-rate);
+//   - ChoiceDensity — probability that a stage gains a data-dependent
+//     tap block (an if- or while-guarded write to an environment output);
+//   - SelectDensity — probability that a pipeline is a SELECT-drain pair
+//     instead of a fixed-rate tree;
+//   - BoundDensity — probability that a tree channel declares an
+//     explicit bound=N, exercising complement places and blocking
+//     writes at link time.
+//
+// All randomness comes from the *rand.Rand passed in (no global state):
+// the same seed and Config always produce byte-identical FlowC and spec
+// text, and — synthesis being deterministic — identical schedules.
+//
+// Every App records its expected behaviour: Triggers lists the
+// uncontrollable inputs to feed, and DetOutputs maps each
+// deterministic environment output to its item count per trigger, so a
+// simulation run can verify end-to-end delivery and channel bounds.
+package corpus

@@ -1,0 +1,67 @@
+package flowc
+
+import "testing"
+
+// FuzzParse checks two robustness properties of the FlowC front end on
+// arbitrary input:
+//
+//  1. the lexer and parser never panic — malformed source must come
+//     back as an error;
+//  2. accepted programs round-trip: printing a parsed process and
+//     parsing the print yields the same program again (print is a fixed
+//     point after one normalization pass).
+func FuzzParse(f *testing.F) {
+	f.Add(`
+PROCESS divisors (In DPORT in, Out DPORT max, Out DPORT all) {
+  int n, i;
+  while (1) {
+    READ_DATA(in, &n, 1);
+    i = n / 2;
+    while (n % i != 0)
+      i--;
+    WRITE_DATA(max, i, 1);
+    while (i > 1) {
+      i--;
+      if (n % i == 0)
+        WRITE_DATA(all, i, 1);
+    }
+  }
+}
+`)
+	f.Add(`
+PROCESS sel (In DPORT a, In DPORT b, Out DPORT out) {
+  int v, w[4];
+  while (1) {
+    switch (SELECT(a, 1, b, 2)) {
+    case 0:
+      READ_DATA(a, &v, 1);
+      break;
+    case 1:
+      READ_DATA(b, w, 2);
+      v = w[0] + w[1];
+      break;
+    }
+    WRITE_DATA(out, v, 1);
+  }
+}
+`)
+	f.Add(`PROCESS p (In DPORT i, Out DPORT o) { int x = 3; for (x = 0; x < 5; x++) { WRITE_DATA(o, x, 1); } }`)
+	f.Add("PROCESS broken (")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := ParseFile(src) // must not panic
+		if err != nil {
+			return
+		}
+		for _, p := range file.Processes {
+			text := FormatProcess(p)
+			p2, err := ParseProcess(text)
+			if err != nil {
+				t.Fatalf("printed process no longer parses: %v\noriginal source:\n%s\nprinted:\n%s", err, src, text)
+			}
+			if again := FormatProcess(p2); again != text {
+				t.Fatalf("print is not a fixed point after reparse:\nfirst:\n%s\nsecond:\n%s", text, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package petri
+
+import "testing"
+
+// netFromBytes decodes an arbitrary byte string into a small valid net:
+// up to 5 places with initial tokens, up to 6 transitions of varying
+// kinds, and arcs with weights 1..3 drawn from the remaining bytes.
+// Every byte string decodes to something, so the fuzzer explores net
+// shapes freely without needing a structured corpus.
+func netFromBytes(data []byte) *Net {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	n := New("fuzz")
+	nPlaces := int(next()%5) + 1
+	for i := 0; i < nPlaces; i++ {
+		kind := PlaceInternal
+		if next()%3 == 0 {
+			kind = PlaceChannel
+		}
+		n.AddPlace("", kind, int(next()%3))
+	}
+	nTrans := int(next()%6) + 1
+	for i := 0; i < nTrans; i++ {
+		kind := TransNormal
+		switch next() % 8 {
+		case 0:
+			kind = TransSourceUnc
+		case 1:
+			kind = TransSourceCtl
+		case 2:
+			kind = TransSink
+		}
+		t := n.AddTransition("", kind)
+		nIn := int(next() % 3)
+		nOut := int(next() % 3)
+		// Sources have no input places by definition; keep the decoder
+		// from building nets Validate would reject.
+		if t.IsSource() {
+			nIn = 0
+		}
+		for a := 0; a < nIn; a++ {
+			p := n.Places[int(next())%nPlaces]
+			n.AddArc(p, t, int(next()%3)+1)
+		}
+		for a := 0; a < nOut; a++ {
+			p := n.Places[int(next())%nPlaces]
+			n.AddArcTP(t, p, int(next()%3)+1)
+		}
+	}
+	return n
+}
+
+// FuzzExplore checks the bounded-reachability contract on arbitrary
+// small nets: exploration never panics, never retains more markings
+// than MaxMarkings, never retains a non-initial marking violating
+// MaxTokensPerPlace, and — when it did not truncate — records edges
+// only between retained markings.
+func FuzzExplore(f *testing.F) {
+	f.Add([]byte{}, uint8(10), uint8(2), true)
+	f.Add([]byte{3, 0, 1, 1, 2, 4, 0, 1, 1, 0, 2, 1, 1, 2, 1, 0, 1}, uint8(50), uint8(3), true)
+	f.Add([]byte{1, 0, 2, 2, 1, 0, 0, 1, 0, 1}, uint8(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, data []byte, maxMarkings, maxTokens uint8, fireSources bool) {
+		n := netFromBytes(data)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoder produced an invalid net: %v", err)
+		}
+		opt := ExploreOptions{
+			// Small caps keep each exec fast; 0 exercises the defaults.
+			MaxMarkings:       int(maxMarkings % 128),
+			MaxTokensPerPlace: int(maxTokens % 8),
+			FireSources:       fireSources,
+		}
+		res := n.Explore(opt)
+		limit := opt.MaxMarkings
+		if limit == 0 {
+			limit = 10000
+		}
+		if len(res.Markings) > limit {
+			t.Fatalf("retained %d markings, cap %d", len(res.Markings), limit)
+		}
+		m0 := n.InitialMarking()
+		if _, ok := res.Markings[m0.Key()]; !ok {
+			t.Fatal("initial marking missing from the result")
+		}
+		for key, m := range res.Markings {
+			if m.Key() != key {
+				t.Fatalf("marking stored under wrong key %q", key)
+			}
+			if opt.MaxTokensPerPlace > 0 && !m.Equal(m0) {
+				for p, v := range m {
+					if v > opt.MaxTokensPerPlace {
+						t.Fatalf("retained marking exceeds token cap at place %d: %d > %d", p, v, opt.MaxTokensPerPlace)
+					}
+				}
+			}
+		}
+		for from, edges := range res.Edges {
+			if _, ok := res.Markings[from]; !ok {
+				t.Fatalf("edge list for unretained marking %q", from)
+			}
+			if !res.Truncated {
+				for _, e := range edges {
+					if _, ok := res.Markings[e.To]; !ok {
+						t.Fatalf("edge to unretained marking %q without truncation", e.To)
+					}
+				}
+			}
+		}
+	})
+}

@@ -196,6 +196,15 @@ func (n *Net) invalidate() {
 	n.predCache = nil
 }
 
+// Warm eagerly builds the lazily-computed adjacency caches. The caches
+// are built on first use and are not synchronized, so callers that read
+// the net from multiple goroutines (e.g. concurrent schedule searches)
+// must call Warm once before fanning out. After Warm, all read-only
+// methods are safe for concurrent use as long as the net is not mutated.
+func (n *Net) Warm() {
+	n.buildCaches()
+}
+
 func (n *Net) buildCaches() {
 	if n.succCache != nil {
 		return

@@ -1,0 +1,61 @@
+// Package pool provides the bounded, order-preserving worker pool
+// shared by the concurrent synthesis engine (per-source schedule
+// searches) and the corpus batch runner (per-app syntheses).
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Run dispatches the indexes 0..n-1, in order, to fn running on up to
+// workers goroutines. fn receives a cancel function that stops the
+// dispatch of pending indexes (first-error cancellation); cancelling
+// the parent ctx has the same effect. In-flight calls always run to
+// completion, and Run returns only after every dispatched fn has
+// returned.
+//
+// The return value is the count of dispatched indexes: the dispatched
+// set is always the prefix [0, dispatched), so callers can tell
+// exactly which items never ran.
+func Run(ctx context.Context, n, workers int, fn func(i int, cancel context.CancelFunc)) (dispatched int) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i, cancel)
+			}
+		}()
+	}
+	dispatched = n
+feed:
+	for i := 0; i < n; i++ {
+		// The explicit Err check makes an already-cancelled context
+		// dispatch nothing: a select with both channels ready would
+		// pick one at random.
+		if ctx.Err() != nil {
+			dispatched = i
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return dispatched
+}

@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAll(t *testing.T) {
+	var hits [50]int32
+	n := Run(context.Background(), len(hits), 8, func(i int, _ context.CancelFunc) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	if n != len(hits) {
+		t.Fatalf("dispatched = %d, want %d", n, len(hits))
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	n := Run(ctx, 10, 4, func(int, context.CancelFunc) { atomic.AddInt32(&ran, 1) })
+	if n != 0 || ran != 0 {
+		t.Fatalf("pre-cancelled context dispatched %d (ran %d), want 0", n, ran)
+	}
+}
+
+func TestRunCancelStopsDispatch(t *testing.T) {
+	var ran int32
+	n := Run(context.Background(), 100, 1, func(i int, cancel context.CancelFunc) {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			cancel()
+		}
+	})
+	// With one worker, dispatch is strictly sequential: the cancel at
+	// index 3 must stop the feed shortly after.
+	if n < 4 || n == 100 {
+		t.Fatalf("dispatched = %d, want an early stop at >= 4", n)
+	}
+	if got := atomic.LoadInt32(&ran); int(got) != n {
+		t.Fatalf("ran %d, dispatched %d — every dispatched index must run", got, n)
+	}
+}
+
+func TestRunWorkerClamp(t *testing.T) {
+	// workers > n and workers <= 0 must both behave.
+	if n := Run(context.Background(), 3, 64, func(int, context.CancelFunc) {}); n != 3 {
+		t.Fatalf("dispatched = %d, want 3", n)
+	}
+	if n := Run(context.Background(), 3, 0, func(int, context.CancelFunc) {}); n != 3 {
+		t.Fatalf("dispatched = %d, want 3", n)
+	}
+}
