@@ -5,14 +5,17 @@
 #   make vet         — static analysis
 #   make test        — unit, property and determinism tests under -race
 #   make bench       — every benchmark once (shape assertions, no timing)
+#   make benchgate   — benchmark-regression gate vs bench_baseline.json
 #   make fuzz-smoke  — short-budget fuzz pass over both fuzz targets
+#   make baseline    — refresh bench_baseline.json on this machine
 
 GO ?= go
 FUZZTIME ?= 5s
+BENCH_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test bench fuzz-smoke
+.PHONY: ci build vet test bench benchgate baseline fuzz-smoke
 
-ci: build vet test bench fuzz-smoke
+ci: build vet test bench benchgate fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +28,12 @@ test:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+benchgate:
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOLERANCE)
+
+baseline:
+	$(GO) run ./cmd/benchdiff -update
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/flowc

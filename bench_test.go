@@ -134,6 +134,7 @@ func BenchmarkTable2(b *testing.B) {
 // the graph engine is far below that). The synthesis cache is disabled:
 // this benchmark measures the flow, not the memo lookup.
 func BenchmarkSynthesisPFC(b *testing.B) {
+	b.ReportAllocs()
 	opt := &core.Options{DisableCache: true}
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Synthesize(apps.PFC, apps.PFCSpec, opt); err != nil {
@@ -147,6 +148,7 @@ func BenchmarkSynthesisPFC(b *testing.B) {
 // Comparing against BenchmarkSynthesisPFC gives the cache speedup
 // (expected to be far beyond the 10x acceptance floor).
 func BenchmarkSynthesisPFCWarm(b *testing.B) {
+	b.ReportAllocs()
 	core.ResetCache()
 	defer core.ResetCache()
 	if _, err := core.Synthesize(apps.PFC, apps.PFCSpec, nil); err != nil {
@@ -168,6 +170,7 @@ func corpusBenchApps() []*corpus.App {
 }
 
 func benchCorpus(b *testing.B, workers int) {
+	b.ReportAllocs()
 	apps := corpusBenchApps()
 	// Per-app schedule searches stay serial: the batch scales over
 	// apps, and nesting both pools would contend for the same cores.
@@ -253,6 +256,7 @@ func dividerNet(k int) *petri.Net {
 func BenchmarkIrrelevanceVsBounds(b *testing.B) {
 	for _, k := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("irrelevance/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			n := dividerNet(k)
 			for i := 0; i < b.N; i++ {
 				if _, err := sched.FindSchedule(n, 0, nil); err != nil {
@@ -285,6 +289,7 @@ func BenchmarkEngines(b *testing.B) {
 		{"tree-exhaustive", sched.EngineTreeExhaustive},
 	} {
 		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opt := &sched.Options{Engine: eng.e}
 			for i := 0; i < b.N; i++ {
 				if _, err := sched.FindSchedule(n, 0, opt); err != nil {

@@ -48,9 +48,9 @@ func main() {
 	fmt.Printf("system %s: %d processes, %d places, %d transitions, %d task(s)\n",
 		res.Sys.Name, len(res.Procs), len(res.Sys.Net.Places), len(res.Sys.Net.Transitions), len(res.Tasks))
 	for i, s := range res.Schedules {
-		fmt.Printf("task %s: schedule %d nodes (%d await), %d segments, %d explored states\n",
+		fmt.Printf("task %s: schedule %d nodes (%d await), %d segments, %d explored states (%d distinct markings)\n",
 			res.Tasks[i].Name, len(s.Nodes), len(s.AwaitNodes()),
-			len(res.Tasks[i].Segments), s.Stats.NodesCreated)
+			len(res.Tasks[i].Segments), s.Stats.NodesCreated, s.Stats.DistinctMarkings)
 		if *showSched {
 			if err := s.Format(os.Stdout); err != nil {
 				fatal(err)

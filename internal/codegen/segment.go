@@ -204,9 +204,8 @@ func Generate(s *sched.Schedule, name string) (*Task, error) {
 
 func dedupStates(in []LeafState) []LeafState {
 	sort.Slice(in, func(i, j int) bool {
-		ki, kj := in[i].Marking.Key(), in[j].Marking.Key()
-		if ki != kj {
-			return ki < kj
+		if c := in[i].Marking.Compare(in[j].Marking); c != 0 {
+			return c < 0
 		}
 		return in[i].NextECS < in[j].NextECS
 	})

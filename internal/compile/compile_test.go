@@ -113,7 +113,7 @@ func TestDivisorsNetStructure(t *testing.T) {
 	}
 	// Every internal run stays deterministic: one marked place travels.
 	r := n.Explore(petri.ExploreOptions{FireSources: false, MaxTokensPerPlace: 8})
-	for key, m := range r.Markings {
+	for _, m := range r.Store.All() {
 		count := 0
 		for i, pl := range n.Places {
 			if pl.Kind == petri.PlaceInternal && m[i] > 0 {
@@ -121,7 +121,7 @@ func TestDivisorsNetStructure(t *testing.T) {
 			}
 		}
 		if count != 1 {
-			t.Errorf("marking %s has %d internal tokens, want 1", key, count)
+			t.Errorf("marking %s has %d internal tokens, want 1", m.Key(), count)
 		}
 	}
 }

@@ -8,9 +8,12 @@ import (
 
 // maxEdgeTokens caps ops*width on one tree channel: the quasi-static
 // search explores the product of channel fills and stage positions, so
-// per-edge bursts beyond a few tokens make deep trees intractable
-// regardless of the other knobs.
-const maxEdgeTokens = 4
+// unbounded per-edge bursts would make deep trees intractable whatever
+// the other knobs say. The cap sat at 4 while marking identity was
+// string-keyed; the hash-consed store visits states roughly 5x faster
+// and ~250x leaner, which is what pays for bursts of 8 within the same
+// search budget.
+const maxEdgeTokens = 8
 
 // Config bounds the random shape of generated apps; see the package
 // documentation for the role of each knob. The zero value is not
@@ -27,7 +30,12 @@ type Config struct {
 }
 
 // DefaultConfig returns the shape distribution used by the batch driver
-// and the benchmarks: small multi-task apps with every pattern enabled.
+// and the benchmarks: multi-task apps with every pattern enabled. The
+// burst ranges assume the hash-consed schedule search: 8 tokens per
+// edge (MaxOps/MaxWidth up to 4) was beyond the PR-1 string-keyed
+// engine's budget. Tree depth stays at 3 — the marking graph is the
+// product of channel fills, and a fourth stage of 8-token edges blows
+// past any practical node budget no matter how cheap a state is.
 func DefaultConfig() Config {
 	return Config{
 		MinPipelines:  1,
@@ -35,8 +43,8 @@ func DefaultConfig() Config {
 		MinStages:     1,
 		MaxStages:     3,
 		MaxFanOut:     2,
-		MaxOps:        3,
-		MaxWidth:      3,
+		MaxOps:        4,
+		MaxWidth:      4,
 		ChoiceDensity: 0.4,
 		SelectDensity: 0.25,
 		BoundDensity:  0.3,

@@ -37,6 +37,16 @@
 //   - MaxFanOut — downstream consumers per stage;
 //   - MaxOps — unrolled channel operations per edge (burst length);
 //   - MaxWidth — items per single READ_DATA/WRITE_DATA (multi-rate);
+//
+// Whatever MaxOps and MaxWidth request, the tokens crossing one tree
+// edge per activation (ops x width) are clamped to maxEdgeTokens,
+// currently 8: the schedule search explores the product of channel
+// fills across the tree, so the per-edge burst is the knob that decides
+// tractability. The cap was 4 under the string-keyed search engines;
+// the hash-consed marking store (petri.MarkingStore) visits states
+// roughly 5x faster and ~250x leaner, which is what funds the deeper
+// burst shapes within the same node budget — and the Definition 4.1
+// property sweep (corpus_test.go) is pinned at these shapes.
 //   - ChoiceDensity — probability that a stage gains a data-dependent
 //     tap block (an if- or while-guarded write to an environment output);
 //   - SelectDensity — probability that a pipeline is a SELECT-drain pair

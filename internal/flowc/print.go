@@ -126,6 +126,12 @@ func writeStmt(sb *strings.Builder, s Stmt, indent int) {
 		pad(sb, indent)
 		sb.WriteString("}\n")
 	case nil:
+		// An absent statement (e.g. the empty-statement body of
+		// `for (;;);`) must survive the round trip: print the empty
+		// statement, not nothing — a loop header with no statement after
+		// it does not reparse.
+		pad(sb, indent)
+		sb.WriteString(";\n")
 	default:
 		pad(sb, indent)
 		fmt.Fprintf(sb, "/*?stmt %T*/\n", s)

@@ -111,9 +111,9 @@ func TestLinkBoundedChannelComplement(t *testing.T) {
 	}
 	// Invariant: C + C~space == 3 in every reachable marking.
 	r := sys.Net.Explore(petri.ExploreOptions{FireSources: true, MaxTokensPerPlace: 5, MaxMarkings: 500})
-	for key, m := range r.Markings {
+	for _, m := range r.Store.All() {
 		if m[ch.ID]+m[comp.ID] != 3 {
-			t.Errorf("marking %s violates the complement invariant", key)
+			t.Errorf("marking %s violates the complement invariant", m.Key())
 		}
 	}
 }

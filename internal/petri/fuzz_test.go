@@ -81,16 +81,22 @@ func FuzzExplore(f *testing.F) {
 		if limit == 0 {
 			limit = 10000
 		}
-		if len(res.Markings) > limit {
-			t.Fatalf("retained %d markings, cap %d", len(res.Markings), limit)
+		if res.Len() > limit {
+			t.Fatalf("retained %d markings, cap %d", res.Len(), limit)
 		}
 		m0 := n.InitialMarking()
-		if _, ok := res.Markings[m0.Key()]; !ok {
-			t.Fatal("initial marking missing from the result")
+		if id, ok := res.Store.Lookup(m0); !ok || id != MarkID(0) {
+			t.Fatalf("initial marking not interned as MarkID 0 (id=%v ok=%v)", id, ok)
 		}
-		for key, m := range res.Markings {
-			if m.Key() != key {
-				t.Fatalf("marking stored under wrong key %q", key)
+		seen := map[string]bool{}
+		for id, m := range res.Store.All() {
+			key := m.Key()
+			if seen[key] {
+				t.Fatalf("marking %q interned twice (hash-consing broken)", key)
+			}
+			seen[key] = true
+			if got, ok := res.Store.Lookup(m); !ok || got != id {
+				t.Fatalf("round-trip of interned marking %q failed: got %v ok %v", key, got, ok)
 			}
 			if opt.MaxTokensPerPlace > 0 && !m.Equal(m0) {
 				for p, v := range m {
@@ -100,15 +106,17 @@ func FuzzExplore(f *testing.F) {
 				}
 			}
 		}
+		if len(res.Edges) != res.Len() {
+			t.Fatalf("edge table has %d rows for %d markings", len(res.Edges), res.Len())
+		}
 		for from, edges := range res.Edges {
-			if _, ok := res.Markings[from]; !ok {
-				t.Fatalf("edge list for unretained marking %q", from)
-			}
-			if !res.Truncated {
-				for _, e := range edges {
-					if _, ok := res.Markings[e.To]; !ok {
-						t.Fatalf("edge to unretained marking %q without truncation", e.To)
-					}
+			for _, e := range edges {
+				if int(e.To) >= res.Len() {
+					t.Fatalf("edge %d -> %d targets an unretained marking", from, e.To)
+				}
+				next := res.MarkingAt(MarkID(from)).Fire(n.Transitions[e.Trans])
+				if !next.Equal(res.MarkingAt(e.To)) {
+					t.Fatalf("edge %d -%d-> %d is not a firing", from, e.Trans, e.To)
 				}
 			}
 		}

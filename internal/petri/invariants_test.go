@@ -66,9 +66,9 @@ func TestPInvariantConservation(t *testing.T) {
 	m0 := n.InitialMarking()
 	want := InvariantValue(cons, m0)
 	res := n.Explore(ExploreOptions{FireSources: true, MaxMarkings: 200})
-	for key, m := range res.Markings {
+	for _, m := range res.Store.All() {
 		if InvariantValue(cons, m) != want {
-			t.Errorf("marking %s violates the invariant", key)
+			t.Errorf("marking %s violates the invariant", m.Key())
 		}
 	}
 }

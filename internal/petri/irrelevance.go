@@ -75,7 +75,24 @@ func IrrelevantAgainst(m, anc Marking, degrees []int) bool {
 // Irrelevant reports whether m is irrelevant with respect to any of the
 // given ancestor markings (ordered root first, though order is
 // immaterial).
+//
+// Fast path: condition (c) requires a strictly grown place p with
+// anc(p) >= degree(p), and (b) gives m(p) > anc(p), so m must exceed
+// the degree of some place outright. A marking within its degrees
+// everywhere can be dismissed in O(|P|) without scanning the ancestor
+// stack — on deep search paths this is the common case and turns the
+// per-node pruning cost from O(depth·|P|) into O(|P|).
 func Irrelevant(m Marking, ancestors []Marking, degrees []int) bool {
+	over := false
+	for i, v := range m {
+		if v > degrees[i] {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return false
+	}
 	for _, anc := range ancestors {
 		if IrrelevantAgainst(m, anc, degrees) {
 			return true

@@ -53,7 +53,9 @@ func (m Marking) Total() int {
 	return s
 }
 
-// Key returns a canonical string usable as a map key.
+// Key returns a canonical string usable as a map key. It allocates and
+// formats; hot paths intern markings in a MarkingStore and compare
+// MarkIDs instead — Key survives for formatting and tests.
 func (m Marking) Key() string {
 	var sb strings.Builder
 	for i, v := range m {
@@ -106,6 +108,47 @@ func (m Marking) Fire(t *Transition) Marking {
 		r[a.Place] += a.Weight
 	}
 	return r
+}
+
+// FireInto writes the result of firing t at m into dst, growing dst as
+// needed, and returns it. Unlike Fire it does not allocate when dst has
+// capacity, which is what keeps the schedule-search inner loops
+// allocation-free: callers thread one scratch buffer through the whole
+// search. The caller must have checked Enabled; FireInto does not.
+func (m Marking) FireInto(dst Marking, t *Transition) Marking {
+	if cap(dst) < len(m) {
+		dst = make(Marking, len(m))
+	}
+	dst = dst[:len(m)]
+	copy(dst, m)
+	for _, a := range t.In {
+		dst[a.Place] -= a.Weight
+	}
+	for _, a := range t.Out {
+		dst[a.Place] += a.Weight
+	}
+	return dst
+}
+
+// Compare orders markings lexicographically by token vector (shorter
+// vectors first). It is an allocation-free total order for sorting and
+// deduplication; unrelated to the covering partial order.
+func (m Marking) Compare(o Marking) int {
+	if len(m) != len(o) {
+		if len(m) < len(o) {
+			return -1
+		}
+		return 1
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			if m[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // FireSeq fires a sequence of transitions from m, returning the final

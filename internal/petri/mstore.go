@@ -1,0 +1,171 @@
+package petri
+
+import "iter"
+
+// Hash-consed marking storage. Every hot loop of the scheduler — the
+// marking-graph engine, the EP/EP_ECS tree searches and the bounded
+// reachability explorer — needs to answer "have I seen this marking
+// before?" millions of times. Keying maps with Marking.Key() built each
+// marking a fresh formatted string (the dominant cost of a cold
+// synthesis, ~60% of CPU in profiles); the MarkingStore instead interns
+// each distinct marking exactly once behind a compact MarkID, using an
+// FNV-1a hash over the token vector and an open-addressing table, so
+// identity checks collapse to integer compares and lookups never
+// allocate.
+
+// MarkID identifies an interned marking within one MarkingStore. IDs are
+// dense: the store assigns 0, 1, 2, ... in interning order, so a MarkID
+// doubles as an index into any per-marking side table.
+type MarkID uint32
+
+// NoMark is the sentinel for "no marking" in APIs that may fail to
+// resolve one.
+const NoMark = MarkID(^uint32(0))
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// MarkingStore interns token vectors of a fixed length (one slot per
+// place of the net). The zero value is not usable — construct with
+// NewMarkingStore.
+//
+// Concurrency: interning mutates the store and must be serialized by
+// the caller. Read-only use (At, Lookup, Len, All) is safe from any
+// number of goroutines once no more Intern calls occur — e.g. a
+// ReachResult.Store may be read concurrently after Explore returns.
+// The schedule-search engines keep one private store per search, so
+// the concurrent per-source searches of the PR-1 worker pool never
+// contend on one.
+type MarkingStore struct {
+	places int
+	tokens []int    // arena; marking id occupies tokens[id*places : (id+1)*places]
+	hashes []uint64 // hash per interned marking, reused on growth
+	table  []uint32 // open addressing, entry = id+1, 0 = empty
+	mask   uint32
+}
+
+// NewMarkingStore returns an empty store for markings over the given
+// number of places.
+func NewMarkingStore(places int) *MarkingStore {
+	return newMarkingStoreCap(places, 1<<10)
+}
+
+// newMarkingStoreCap builds a store with an explicit initial table size
+// (a power of two). Tests use tiny tables to force probe collisions.
+func newMarkingStoreCap(places, tableSize int) *MarkingStore {
+	if tableSize < 2 || tableSize&(tableSize-1) != 0 {
+		panic("petri: marking store table size must be a power of two >= 2")
+	}
+	return &MarkingStore{
+		places: places,
+		table:  make([]uint32, tableSize),
+		mask:   uint32(tableSize - 1),
+	}
+}
+
+// Len returns the number of distinct markings interned.
+func (s *MarkingStore) Len() int { return len(s.hashes) }
+
+// Places returns the token-vector length the store was built for.
+func (s *MarkingStore) Places() int { return s.places }
+
+// At returns the interned marking as a read-only view into the store's
+// arena: callers must not mutate it. Views stay valid across later
+// Intern calls — growth retires the backing array but interned contents
+// never change — so it is safe to hold one across further interning.
+func (s *MarkingStore) At(id MarkID) Marking {
+	i := int(id) * s.places
+	return Marking(s.tokens[i : i+s.places : i+s.places])
+}
+
+// hash is FNV-1a folded over the token words. Deterministic across
+// processes, so interning order (and everything derived from it) is
+// reproducible.
+func (s *MarkingStore) hash(m Marking) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range m {
+		h ^= uint64(v)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Lookup returns the MarkID of m if it is interned. It never allocates.
+func (s *MarkingStore) Lookup(m Marking) (MarkID, bool) {
+	h := s.hash(m)
+	for slot := uint32(h) & s.mask; ; slot = (slot + 1) & s.mask {
+		e := s.table[slot]
+		if e == 0 {
+			return NoMark, false
+		}
+		id := MarkID(e - 1)
+		if s.hashes[id] == h && s.At(id).Equal(m) {
+			return id, true
+		}
+	}
+}
+
+// Intern returns the MarkID of m, interning a copy of the vector if it
+// was not present. The second result reports whether the marking is
+// new. Interning an already-present marking performs no allocation.
+func (s *MarkingStore) Intern(m Marking) (MarkID, bool) {
+	if len(m) != s.places {
+		panic("petri: marking length does not match store")
+	}
+	h := s.hash(m)
+	slot := uint32(h) & s.mask
+	for ; ; slot = (slot + 1) & s.mask {
+		e := s.table[slot]
+		if e == 0 {
+			break
+		}
+		id := MarkID(e - 1)
+		if s.hashes[id] == h && s.At(id).Equal(m) {
+			return id, false
+		}
+	}
+	id := MarkID(len(s.hashes))
+	s.tokens = append(s.tokens, m...)
+	s.hashes = append(s.hashes, h)
+	s.table[slot] = uint32(id) + 1
+	if len(s.hashes)*4 >= len(s.table)*3 {
+		s.grow()
+	}
+	return id, true
+}
+
+// grow doubles the table and reinserts every id using the stored
+// hashes; the arena is untouched.
+func (s *MarkingStore) grow() {
+	nt := make([]uint32, len(s.table)*2)
+	mask := uint32(len(nt) - 1)
+	for id, h := range s.hashes {
+		slot := uint32(h) & mask
+		for nt[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		nt[slot] = uint32(id) + 1
+	}
+	s.table = nt
+	s.mask = mask
+}
+
+// All iterates over (MarkID, Marking) pairs in interning order. The
+// yielded markings are read-only views (see At).
+func (s *MarkingStore) All() iter.Seq2[MarkID, Marking] {
+	return func(yield func(MarkID, Marking) bool) {
+		for id := 0; id < s.Len(); id++ {
+			if !yield(MarkID(id), s.At(MarkID(id))) {
+				return
+			}
+		}
+	}
+}
+
+// MemBytes estimates the store's memory footprint: arena, hash and
+// table backing arrays. Diagnostics only.
+func (s *MarkingStore) MemBytes() int {
+	return cap(s.tokens)*8 + cap(s.hashes)*8 + cap(s.table)*4
+}

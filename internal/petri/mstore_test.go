@@ -1,0 +1,204 @@
+package petri
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMarkingStoreRoundTrip: intern assigns dense IDs in order, lookup
+// finds them again, and At returns the exact vector.
+func TestMarkingStoreRoundTrip(t *testing.T) {
+	const places = 7
+	s := NewMarkingStore(places)
+	rng := rand.New(rand.NewSource(1))
+	var markings []Marking
+	seen := map[string]MarkID{}
+	for i := 0; i < 500; i++ {
+		m := make(Marking, places)
+		for j := range m {
+			m[j] = rng.Intn(4)
+		}
+		id, isNew := s.Intern(m)
+		if prev, ok := seen[m.Key()]; ok {
+			if isNew {
+				t.Fatalf("marking %q re-interned as new", m.Key())
+			}
+			if id != prev {
+				t.Fatalf("marking %q changed ID %d -> %d", m.Key(), prev, id)
+			}
+		} else {
+			if !isNew {
+				t.Fatalf("fresh marking %q not reported new", m.Key())
+			}
+			if int(id) != len(seen) {
+				t.Fatalf("IDs not dense: got %d for insertion %d", id, len(seen))
+			}
+			seen[m.Key()] = id
+			markings = append(markings, m.Clone())
+		}
+	}
+	if s.Len() != len(seen) {
+		t.Fatalf("Len = %d, want %d distinct", s.Len(), len(seen))
+	}
+	for _, m := range markings {
+		id, ok := s.Lookup(m)
+		if !ok || id != seen[m.Key()] {
+			t.Fatalf("lookup %q = (%v, %v), want (%v, true)", m.Key(), id, ok, seen[m.Key()])
+		}
+		if !s.At(id).Equal(m) {
+			t.Fatalf("At(%d) = %v, want %v", id, s.At(id), m)
+		}
+	}
+	if _, ok := s.Lookup(Marking{9, 9, 9, 9, 9, 9, 9}); ok {
+		t.Fatal("lookup of never-interned marking succeeded")
+	}
+}
+
+// TestMarkingStoreCollisions forces probe collisions: a 2-slot table
+// puts every second marking in an occupied bucket, exercising linear
+// probing, and the growth path rehashes everything. All round-trips
+// must survive.
+func TestMarkingStoreCollisions(t *testing.T) {
+	const places = 3
+	s := newMarkingStoreCap(places, 2)
+	var ms []Marking
+	for i := 0; i < 64; i++ {
+		m := Marking{i, i % 5, i / 3}
+		ms = append(ms, m)
+		if id, isNew := s.Intern(m); !isNew || int(id) != i {
+			t.Fatalf("intern %v = (%d, %v), want (%d, true)", m, id, isNew, i)
+		}
+	}
+	// Re-intern everything: same IDs, nothing new.
+	for i, m := range ms {
+		if id, isNew := s.Intern(m); isNew || int(id) != i {
+			t.Fatalf("re-intern %v = (%d, %v), want (%d, false)", m, id, isNew, i)
+		}
+	}
+	for i, m := range ms {
+		if id, ok := s.Lookup(m); !ok || int(id) != i {
+			t.Fatalf("lookup %v = (%d, %v), want (%d, true)", m, id, ok, i)
+		}
+		if !s.At(MarkID(i)).Equal(m) {
+			t.Fatalf("At(%d) = %v, want %v", i, s.At(MarkID(i)), m)
+		}
+	}
+}
+
+// TestMarkingStoreViewStability: views taken before arena growth stay
+// readable and equal to the interned vector afterwards.
+func TestMarkingStoreViewStability(t *testing.T) {
+	s := NewMarkingStore(4)
+	first := Marking{1, 2, 3, 4}
+	id, _ := s.Intern(first)
+	view := s.At(id)
+	for i := 0; i < 10000; i++ {
+		s.Intern(Marking{i, i + 1, i + 2, i + 3})
+	}
+	if !view.Equal(first) {
+		t.Fatalf("early view corrupted after growth: %v", view)
+	}
+	if !s.At(id).Equal(first) {
+		t.Fatalf("At(%d) corrupted after growth: %v", id, s.At(id))
+	}
+}
+
+// TestMarkingStoreConcurrentReads: once interning stops, At/Lookup/All
+// are safe from many goroutines — the contract the PR-1 worker pool
+// relies on. Run under -race (the Makefile does).
+func TestMarkingStoreConcurrentReads(t *testing.T) {
+	const places = 5
+	s := NewMarkingStore(places)
+	var ms []Marking
+	for i := 0; i < 200; i++ {
+		m := Marking{i, i % 7, i % 3, i % 11, i % 2}
+		ms = append(ms, m)
+		s.Intern(m)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				i := (w*53 + r*17) % len(ms)
+				id, ok := s.Lookup(ms[i])
+				if !ok || int(id) != i {
+					t.Errorf("concurrent lookup %d = (%d, %v)", i, id, ok)
+					return
+				}
+				if !s.At(id).Equal(ms[i]) {
+					t.Errorf("concurrent At(%d) mismatch", id)
+					return
+				}
+				n := 0
+				for range s.All() {
+					n++
+				}
+				if n != s.Len() {
+					t.Errorf("concurrent All yielded %d of %d", n, s.Len())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestFireInto: matches Fire, reuses the destination buffer, and a
+// self-loop round-trips.
+func TestFireInto(t *testing.T) {
+	n := New("fire")
+	p := n.AddPlace("p", PlaceChannel, 2)
+	q := n.AddPlace("q", PlaceChannel, 0)
+	tr := n.AddTransition("t", TransNormal)
+	n.AddArc(p, tr, 2)
+	n.AddArcTP(tr, q, 3)
+	m := n.InitialMarking()
+	want := m.Fire(tr)
+	var scratch Marking
+	scratch = m.FireInto(scratch, tr)
+	if !scratch.Equal(want) {
+		t.Fatalf("FireInto = %v, want %v", scratch, want)
+	}
+	// Second call must reuse the same backing array.
+	prev := &scratch[0]
+	scratch = want.FireInto(scratch, tr)
+	if &scratch[0] != prev {
+		t.Fatal("FireInto reallocated a buffer with sufficient capacity")
+	}
+	if m[p.ID] != 2 || m[q.ID] != 0 {
+		t.Fatalf("FireInto mutated the source marking: %v", m)
+	}
+}
+
+// TestZeroAllocFiringAndIntern pins the hot pair of the schedule-search
+// inner loop: firing into a scratch buffer and interning an
+// already-seen marking must not allocate at all.
+func TestZeroAllocFiringAndIntern(t *testing.T) {
+	n := New("hot")
+	p := n.AddPlace("p", PlaceChannel, 1)
+	q := n.AddPlace("q", PlaceChannel, 0)
+	tr := n.AddTransition("t", TransNormal)
+	n.AddArc(p, tr, 1)
+	n.AddArcTP(tr, q, 1)
+	m := n.InitialMarking()
+	s := NewMarkingStore(len(n.Places))
+	scratch := make(Marking, len(n.Places))
+	scratch = m.FireInto(scratch, tr)
+	s.Intern(m)
+	s.Intern(scratch)
+	allocs := testing.AllocsPerRun(200, func() {
+		scratch = m.FireInto(scratch, tr)
+		if _, isNew := s.Intern(scratch); isNew {
+			t.Fatal("marking should already be interned")
+		}
+		if _, ok := s.Lookup(m); !ok {
+			t.Fatal("lookup lost the initial marking")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fire+intern of a seen marking allocated %.1f times per run, want 0", allocs)
+	}
+}

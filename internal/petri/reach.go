@@ -1,31 +1,43 @@
 package petri
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Bounded-reachability utilities. The full reachability graph of a net
 // with source transitions is infinite; these helpers explore a finite
 // fragment for validation, testing and diagnostics.
 
-// ReachResult is the outcome of a bounded exploration.
+// ReachResult is the outcome of a bounded exploration. Markings are
+// hash-consed: Store assigns each distinct visited marking a dense
+// MarkID, and Edges is indexed by it.
 type ReachResult struct {
-	// Markings holds every distinct marking visited, keyed by Marking.Key.
-	Markings map[string]Marking
-	// Edges holds, for each visited marking key, the (transition, next
-	// marking key) pairs explored.
-	Edges map[string][]ReachEdge
+	// Store interns every distinct marking visited; MarkID 0 is the
+	// initial marking.
+	Store *MarkingStore
+	// Edges holds, for each visited marking, the (transition, successor)
+	// pairs explored. len(Edges) == Store.Len().
+	Edges [][]ReachEdge
+	// Clipped marks sources of dropped edges: Clipped[id] is true when
+	// some enabled firing at id was not recorded because the successor
+	// exceeded MaxTokensPerPlace or the MaxMarkings budget. Such states
+	// are incompletely explored, not dead.
+	Clipped []bool
 	// Truncated is true when the exploration hit a limit before
-	// exhausting the state space.
+	// exhausting the state space (equivalently, when any state is
+	// Clipped).
 	Truncated bool
 }
 
 // ReachEdge is one edge of the explored reachability graph.
 type ReachEdge struct {
 	Trans int
-	To    string
+	To    MarkID
 }
+
+// Len returns the number of distinct markings retained.
+func (r *ReachResult) Len() int { return r.Store.Len() }
+
+// MarkingAt returns the marking behind id (a read-only view).
+func (r *ReachResult) MarkingAt(id MarkID) Marking { return r.Store.At(id) }
 
 // ExploreOptions bounds a reachability exploration.
 type ExploreOptions struct {
@@ -40,22 +52,21 @@ type ExploreOptions struct {
 }
 
 // Explore performs a breadth-first bounded exploration from the initial
-// marking.
+// marking. The inner loop reuses one scratch vector and interns through
+// the store, so firing a transition allocates only when it discovers a
+// new marking.
 func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 	if opt.MaxMarkings == 0 {
 		opt.MaxMarkings = 10000
 	}
-	res := &ReachResult{
-		Markings: map[string]Marking{},
-		Edges:    map[string][]ReachEdge{},
-	}
+	res := &ReachResult{Store: NewMarkingStore(len(n.Places))}
 	m0 := n.InitialMarking()
-	queue := []Marking{m0}
-	res.Markings[m0.Key()] = m0
-	for len(queue) > 0 {
-		m := queue[0]
-		queue = queue[1:]
-		key := m.Key()
+	res.Store.Intern(m0)
+	res.Edges = append(res.Edges, nil)
+	res.Clipped = append(res.Clipped, false)
+	var scratch Marking
+	for qi := MarkID(0); int(qi) < res.Store.Len(); qi++ {
+		m := res.Store.At(qi)
 		for _, t := range n.Transitions {
 			if !opt.FireSources && t.IsSource() {
 				continue
@@ -63,10 +74,10 @@ func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 			if !m.Enabled(t) {
 				continue
 			}
-			next := m.Fire(t)
+			scratch = m.FireInto(scratch, t)
 			if opt.MaxTokensPerPlace > 0 {
 				over := false
-				for _, v := range next {
+				for _, v := range scratch {
 					if v > opt.MaxTokensPerPlace {
 						over = true
 						break
@@ -74,35 +85,38 @@ func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 				}
 				if over {
 					res.Truncated = true
+					res.Clipped[qi] = true
 					continue
 				}
 			}
-			nk := next.Key()
-			res.Edges[key] = append(res.Edges[key], ReachEdge{Trans: t.ID, To: nk})
-			if _, seen := res.Markings[nk]; !seen {
-				if len(res.Markings) >= opt.MaxMarkings {
+			id, ok := res.Store.Lookup(scratch)
+			if !ok {
+				if res.Store.Len() >= opt.MaxMarkings {
 					res.Truncated = true
+					res.Clipped[qi] = true
 					continue
 				}
-				res.Markings[nk] = next
-				queue = append(queue, next)
+				id, _ = res.Store.Intern(scratch)
+				res.Edges = append(res.Edges, nil)
+				res.Clipped = append(res.Clipped, false)
 			}
+			res.Edges[qi] = append(res.Edges[qi], ReachEdge{Trans: t.ID, To: id})
 		}
 	}
 	return res
 }
 
-// DeadlockMarkings returns the keys of visited markings with no explored
+// DeadlockMarkings returns the IDs of visited markings with no explored
 // outgoing edge (source firings excluded unless FireSources was set),
-// sorted for determinism.
-func (r *ReachResult) DeadlockMarkings() []string {
-	var out []string
-	for k := range r.Markings {
-		if len(r.Edges[k]) == 0 {
-			out = append(out, k)
+// in ascending MarkID order. States whose exploration was clipped by a
+// limit are skipped — an unrecorded successor is not a deadlock.
+func (r *ReachResult) DeadlockMarkings() []MarkID {
+	var out []MarkID
+	for id, edges := range r.Edges {
+		if len(edges) == 0 && !r.Clipped[id] {
+			out = append(out, MarkID(id))
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -114,7 +128,7 @@ func (n *Net) CoEnabled(r *ReachResult, a, b int) (bool, error) {
 		return false, fmt.Errorf("petri: transition index out of range (%d, %d)", a, b)
 	}
 	ta, tb := n.Transitions[a], n.Transitions[b]
-	for _, m := range r.Markings {
+	for _, m := range r.Store.All() {
 		if m.Enabled(ta) && m.Enabled(tb) {
 			return true, nil
 		}

@@ -6,13 +6,13 @@ func TestExploreBounded(t *testing.T) {
 	n := simpleNet(t)
 	// Without sources: nothing fires from the initial marking.
 	r := n.Explore(ExploreOptions{FireSources: false})
-	if len(r.Markings) != 1 {
-		t.Errorf("markings without sources = %d, want 1", len(r.Markings))
+	if r.Len() != 1 {
+		t.Errorf("markings without sources = %d, want 1", r.Len())
 	}
 	// With sources and a token cap, the space closes.
 	r = n.Explore(ExploreOptions{FireSources: true, MaxTokensPerPlace: 4})
-	if len(r.Markings) < 3 {
-		t.Errorf("markings with sources = %d, want several", len(r.Markings))
+	if r.Len() < 3 {
+		t.Errorf("markings with sources = %d, want several", r.Len())
 	}
 	if !r.Truncated {
 		t.Error("cap should truncate the infinite source-driven space")
@@ -22,8 +22,8 @@ func TestExploreBounded(t *testing.T) {
 func TestExploreMaxMarkings(t *testing.T) {
 	n := simpleNet(t)
 	r := n.Explore(ExploreOptions{FireSources: true, MaxMarkings: 2, MaxTokensPerPlace: 10})
-	if len(r.Markings) > 2 {
-		t.Errorf("markings = %d, exceeds limit 2", len(r.Markings))
+	if r.Len() > 2 {
+		t.Errorf("markings = %d, exceeds limit 2", r.Len())
 	}
 	if !r.Truncated {
 		t.Error("limit should mark the result truncated")
@@ -59,5 +59,27 @@ func TestCoEnabled(t *testing.T) {
 	}
 	if _, err := n.CoEnabled(r, 0, 99); err == nil {
 		t.Error("out-of-range index should error")
+	}
+}
+
+func TestDeadlockMarkingsNotClipped(t *testing.T) {
+	// A budget of 2 markings clips the second marking's exploration:
+	// it has enabled transitions whose successors were never recorded,
+	// so it must not be reported as a deadlock.
+	n := simpleNet(t)
+	r := n.Explore(ExploreOptions{FireSources: true, MaxMarkings: 2, MaxTokensPerPlace: 10})
+	if !r.Truncated {
+		t.Fatal("budget of 2 should truncate")
+	}
+	for _, id := range r.DeadlockMarkings() {
+		if r.Clipped[id] {
+			t.Fatalf("clipped marking %d reported as deadlock", id)
+		}
+		m := r.MarkingAt(id)
+		for _, tr := range n.Transitions {
+			if m.Enabled(tr) {
+				t.Fatalf("deadlock marking %d has enabled transition %s", id, tr.Name)
+			}
+		}
 	}
 }

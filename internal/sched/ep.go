@@ -29,7 +29,8 @@ type Options struct {
 	// independent for FlowC-derived nets (Prop. 4.3).
 	MultiSource bool
 	// MaxNodes bounds the number of tree nodes / graph states created
-	// (default 500000).
+	// (default 2000000; hash-consed states are compact enough that the
+	// budget is search time, not memory).
 	MaxNodes int
 	// Engine selects the search engine (default EngineGraph).
 	Engine Engine
@@ -68,21 +69,28 @@ func (o *Options) withDefaults(n *petri.Net, source int) Options {
 	if out.Term == nil {
 		out.Term = NewIrrelevance(n)
 	}
-	if out.Order == nil {
+	// The graph engine never consults an ECS order; skip the T-invariant
+	// basis computation (it is not free) unless a tree engine will run.
+	if out.Order == nil && out.Engine != EngineGraph {
 		out.Order = NewTInvariantOrder(n, source, out.Term)
 	}
 	if out.MaxNodes == 0 {
-		out.MaxNodes = 500000
+		out.MaxNodes = 2000000
 	}
 	return out
 }
 
-// treeNode is a node of the EP search tree.
+// treeNode is a node of the EP search tree. Markings are hash-consed in
+// the engine's store: mid is the interned ID, and marking is a read-only
+// view into the store's arena, so marking-match tests are integer
+// compares and equal markings share one vector however many tree nodes
+// carry them.
 type treeNode struct {
 	id      int
 	parent  *treeNode
 	depth   int
 	inTrans int // transition fired on the edge from parent; -1 at root
+	mid     petri.MarkID
 	marking petri.Marking
 
 	chosenECS *petri.ECS          // ECS(v) chosen by EP; nil for leaves
@@ -98,6 +106,17 @@ type engine struct {
 	stats  SearchStats
 	nodes  int
 	over   bool // budget exhausted
+
+	store   *petri.MarkingStore
+	scratch petri.Marking // firing buffer reused across the search
+	// ancStack holds the markings on the DFS path from the root to the
+	// node currently being expanded (root first), maintained push/pop by
+	// ep instead of re-walking parent pointers per node.
+	ancStack []petri.Marking
+	// fired holds per-transition fire counts along the same path.
+	fired []int
+	// octx is the reusable ordering context handed to ECSOrder.Sort.
+	octx OrderContext
 }
 
 // FindSchedule computes a single-source schedule for the given
@@ -119,12 +138,18 @@ func FindSchedule(n *petri.Net, source int, opt *Options) (*Schedule, error) {
 		source: source,
 		opt:    eff,
 		part:   n.ECSPartition(),
+		store:  petri.NewMarkingStore(len(n.Places)),
+		fired:  make([]int, len(n.Transitions)),
 	}
 	if _, ok := e.opt.Order.(*TInvariantOrder); ok {
 		e.stats.UsedTInv = true
 	}
 	root := e.newNode(nil, -1, n.InitialMarking())
 	child := e.newNode(root, source, root.marking.Fire(st))
+	// The root is on the path of every node below it: account for its
+	// marking and the source firing before descending into EP.
+	e.ancStack = append(e.ancStack, root.marking)
+	e.fired[source]++
 	root.chosenECS = e.ecsOf(source)
 	root.kids = map[int][]*treeNode{root.chosenECS.Index: {child}}
 	got := e.ep(child, root)
@@ -174,12 +199,16 @@ func (e *engine) ecsOf(trans int) *petri.ECS {
 	return nil
 }
 
+// newNode creates a tree node for marking m, hash-consing the vector:
+// m may be (and in the hot path is) the engine's scratch buffer — the
+// store copies it only if the marking is new.
 func (e *engine) newNode(parent *treeNode, inTrans int, m petri.Marking) *treeNode {
 	e.nodes++
 	if e.nodes > e.opt.MaxNodes {
 		e.over = true
 	}
-	n := &treeNode{id: e.nodes, parent: parent, inTrans: inTrans, marking: m}
+	mid, _ := e.store.Intern(m)
+	n := &treeNode{id: e.nodes, parent: parent, inTrans: inTrans, mid: mid, marking: e.store.At(mid)}
 	if parent != nil {
 		n.depth = parent.depth + 1
 	}
@@ -201,41 +230,46 @@ func isAncEq(u, x *treeNode) bool {
 	return false
 }
 
-func (e *engine) ancestorMarkings(v *treeNode) []petri.Marking {
-	var out []petri.Marking
-	for u := v.parent; u != nil; u = u.parent {
-		out = append(out, u.marking)
-	}
-	return out
-}
-
 // ep implements function EP(v, target) of Figure 9(a): find an entering
 // point of v that is an ancestor of target if one exists, else the
 // minimum entering point found, else nil (UNDEF).
+//
+// Invariant: on entry, e.ancStack holds the markings of v's proper
+// ancestors (root first) and e.fired the per-transition fire counts of
+// the path from the root to v inclusive; both are maintained push/pop
+// around the recursion instead of being rebuilt per node.
 func (e *engine) ep(v, target *treeNode) *treeNode {
 	if e.over {
 		return nil
 	}
-	anc := e.ancestorMarkings(v)
-	if e.opt.Term.Prune(v.marking, anc) {
+	if e.opt.Term.Prune(v.marking, e.ancStack) {
 		e.stats.Pruned++
 		return nil
 	}
 	// Marking match against a proper ancestor: v is a leaf looping back.
+	// Hash-consing reduces the test to a MarkID compare.
 	for u := v.parent; u != nil; u = u.parent {
-		if u.marking.Equal(v.marking) {
+		if u.mid == v.mid {
 			v.entry = u
 			return u
 		}
 	}
+	e.ancStack = append(e.ancStack, v.marking)
+	best := e.epExpand(v, target)
+	e.ancStack = e.ancStack[:len(e.ancStack)-1]
+	return best
+}
+
+// epExpand explores the enabled ECSs of v; e.ancStack already includes
+// v's marking (the path root..v inclusive).
+func (e *engine) epExpand(v, target *treeNode) *treeNode {
 	enabled := e.enabledECS(v.marking)
-	enabled = e.opt.Order.Sort(&OrderContext{
-		Net:       e.net,
-		Marking:   v.marking,
-		Fired:     e.firedCounts(v),
-		Source:    e.source,
-		Ancestors: anc,
-	}, enabled)
+	e.octx.Net = e.net
+	e.octx.Marking = v.marking
+	e.octx.Fired = e.fired
+	e.octx.Source = e.source
+	e.octx.Path = e.ancStack
+	enabled = e.opt.Order.Sort(&e.octx, enabled)
 	// Environment sources are a second-class pass: "fire a source
 	// transition only when the system cannot fire anything else"
 	// (Section 4.4). In greedy mode this is a hard gate; in exhaustive
@@ -297,12 +331,15 @@ func (e *engine) epECS(E *petri.ECS, v, target *treeNode) *treeNode {
 	var kids []*treeNode
 	for _, tid := range E.Trans {
 		t := e.net.Transitions[tid]
-		w := e.newNode(v, tid, v.marking.Fire(t))
+		e.scratch = v.marking.FireInto(e.scratch, t)
+		w := e.newNode(v, tid, e.scratch)
 		if e.over {
 			return nil
 		}
 		kids = append(kids, w)
+		e.fired[tid]++
 		got := e.ep(w, curTarget)
+		e.fired[tid]--
 		if got == nil || !isAncEq(got, v) {
 			return nil
 		}
@@ -335,20 +372,11 @@ func (e *engine) enabledECS(m petri.Marking) []*petri.ECS {
 	return out
 }
 
-// firedCounts returns how many times each transition fired on the path
-// from the root to v.
-func (e *engine) firedCounts(v *treeNode) []int {
-	counts := make([]int, len(e.net.Transitions))
-	for u := v; u != nil && u.inTrans >= 0; u = u.parent {
-		counts[u.inTrans]++
-	}
-	return counts
-}
-
 // buildSchedule performs the post-processing of Section 5.2: retain only
 // the subtree selected by the chosen ECSs, and close a cycle at each
 // retained leaf by merging it with the ancestor carrying its marking.
 func (e *engine) buildSchedule(root *treeNode) *Schedule {
+	e.stats.DistinctMarkings = e.store.Len()
 	sched := &Schedule{Net: e.net, Source: e.source, Stats: e.stats}
 	nodeOf := map[*treeNode]*Node{}
 	var mk func(t *treeNode) *Node
@@ -356,7 +384,9 @@ func (e *engine) buildSchedule(root *treeNode) *Schedule {
 		if n, ok := nodeOf[t]; ok {
 			return n
 		}
-		n := &Node{ID: len(sched.Nodes), Marking: t.marking, ECS: t.chosenECS}
+		// Kept nodes are few; clone so the schedule does not pin the
+		// search store's arena.
+		n := &Node{ID: len(sched.Nodes), Marking: t.marking.Clone(), ECS: t.chosenECS}
 		nodeOf[t] = n
 		sched.Nodes = append(sched.Nodes, n)
 		if t.chosenECS == nil {

@@ -95,18 +95,20 @@ func (a Any) Caps(n *petri.Net) []int {
 	return out
 }
 
+// gstate is the per-marking search state. Its index in graphEngine.states
+// IS its petri.MarkID in the engine's store: the store assigns dense IDs
+// in interning order, so no separate key map is needed. The allowed
+// enabled ECSs of the state and their successor lists live in the
+// engine's flat arenas (ecsArena/succArena), addressed by [ecsStart,
+// ecsEnd) — per-state slice headers would be one allocation per
+// (state, ECS) pair, which at hundreds of thousands of states is most
+// of the search's allocation bill.
 type gstate struct {
-	id int
-	m  petri.Marking
-	// ecs lists the allowed enabled ECSs; succ[i][j] is the state of
-	// firing transition j of ecs[i], or -1 when the successor exceeds
-	// the caps (making the ECS unusable).
-	ecs  []*petri.ECS
-	succ [][]int
+	ecsStart, ecsEnd int32
 
-	inX    bool
-	rank   int // lfp stage of the reachability pass; -1 = unreached
-	choice int // chosen ECS index; -1 = none
+	occ  int32 // channel/port token occupancy, precomputed at intern
+	rank int32 // lfp stage of the reachability pass; -1 = unreached
+	inX  bool
 }
 
 type graphEngine struct {
@@ -116,9 +118,48 @@ type graphEngine struct {
 	part   []*petri.ECS
 	caps   []int
 
-	states []*gstate
-	index  map[string]int
-	over   bool
+	store   *petri.MarkingStore
+	states  []gstate
+	scratch petri.Marking // firing buffer reused across the whole search
+	over    bool
+
+	// Flat adjacency. Entry k of ecsArena is one (state, allowed enabled
+	// ECS) pair; its successor states occupy
+	// succArena[succOff[k] : succOff[k]+len(ecsArena[k].Trans)], with -1
+	// marking a successor beyond the caps (making the ECS unusable).
+	ecsArena  []*petri.ECS
+	succOff   []int32
+	succArena []int32
+
+	// Reverse adjacency in CSR form, built once after explore: edge e
+	// lands on target revTo-order with source revSrc[e] via arena entry
+	// revECS[e]. computeRanks filters by the current X set instead of
+	// rebuilding the adjacency every fixpoint round.
+	revOff []int32
+	revSrc []int32
+	revECS []int32
+	// usable[k] caches, per fixpoint round, whether arena entry k keeps
+	// every successor inside X.
+	usable []bool
+	dist   []int64
+	heap   rankHeap
+}
+
+// stateECS returns the allowed enabled ECS entries of s as indexes into
+// the engine arenas.
+func (ge *graphEngine) ecsCount(s *gstate) int { return int(s.ecsEnd - s.ecsStart) }
+
+// succOf returns the successor list of the i-th ECS of s (entries are
+// state indexes, -1 = beyond caps).
+func (ge *graphEngine) succOf(s *gstate, i int) []int32 {
+	k := int(s.ecsStart) + i
+	off := ge.succOff[k]
+	return ge.succArena[off : off+int32(len(ge.ecsArena[k].Trans))]
+}
+
+// ecsAt returns the i-th allowed enabled ECS of s.
+func (ge *graphEngine) ecsAt(s *gstate, i int) *petri.ECS {
+	return ge.ecsArena[int(s.ecsStart)+i]
 }
 
 func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error) {
@@ -127,7 +168,7 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 		source: source,
 		opt:    opt,
 		part:   n.ECSPartition(),
-		index:  map[string]int{},
+		store:  petri.NewMarkingStore(len(n.Places)),
 	}
 	if cp, ok := opt.Term.(CapProvider); ok {
 		ge.caps = cp.Caps(n)
@@ -152,19 +193,25 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 	return s, nil
 }
 
+// intern hash-conses m. An already-seen marking costs one hash and one
+// probe, no allocation; a new one is copied once into the store's arena
+// and gains a parallel gstate slot.
 func (ge *graphEngine) intern(m petri.Marking) int {
-	key := m.Key()
-	if id, ok := ge.index[key]; ok {
-		return id
+	id, isNew := ge.store.Intern(m)
+	if !isNew {
+		return int(id)
 	}
-	id := len(ge.states)
-	if id >= ge.opt.MaxNodes {
+	if int(id) >= ge.opt.MaxNodes {
 		ge.over = true
 		return -1
 	}
-	ge.states = append(ge.states, &gstate{id: id, m: m, choice: -1, rank: -1})
-	ge.index[key] = id
-	return id
+	ge.states = append(ge.states, gstate{rank: -1, occ: int32(ge.occupancy(m))})
+	return int(id)
+}
+
+// marking returns the (read-only) token vector of state id.
+func (ge *graphEngine) marking(id int) petri.Marking {
+	return ge.store.At(petri.MarkID(id))
 }
 
 // allowed reports whether the ECS may appear in this schedule.
@@ -184,36 +231,83 @@ func (ge *graphEngine) withinCaps(m petri.Marking) bool {
 	return true
 }
 
-// explore runs the bounded forward BFS.
+// explore runs the bounded forward BFS. Firing a transition reuses the
+// engine's scratch buffer and interns through the store, and the
+// adjacency goes into flat arenas, so the per-fired-transition cost is
+// hash + probe with no allocation (arena growth amortizes).
 func (ge *graphEngine) explore() {
 	for qi := 0; qi < len(ge.states) && !ge.over; qi++ {
-		s := ge.states[qi]
+		// ge.states may be appended to (and moved) by intern below, so
+		// take the element pointer only when writing; the marking view
+		// stays valid across store growth.
+		m := ge.marking(qi)
+		start := len(ge.ecsArena)
 		for _, E := range ge.part {
-			if !ge.allowed(E) || !E.Enabled(ge.net, s.m) {
+			if !ge.allowed(E) || !E.Enabled(ge.net, m) {
 				continue
 			}
-			succ := make([]int, len(E.Trans))
-			for j, tid := range E.Trans {
-				next := s.m.Fire(ge.net.Transitions[tid])
-				if !ge.withinCaps(next) {
-					succ[j] = -1
+			off := len(ge.succArena)
+			for _, tid := range E.Trans {
+				ge.scratch = m.FireInto(ge.scratch, ge.net.Transitions[tid])
+				if !ge.withinCaps(ge.scratch) {
+					ge.succArena = append(ge.succArena, -1)
 					continue
 				}
-				succ[j] = ge.intern(next)
+				id := ge.intern(ge.scratch)
 				if ge.over {
 					return
 				}
+				ge.succArena = append(ge.succArena, int32(id))
 			}
-			s.ecs = append(s.ecs, E)
-			s.succ = append(s.succ, succ)
+			ge.ecsArena = append(ge.ecsArena, E)
+			ge.succOff = append(ge.succOff, int32(off))
+		}
+		s := &ge.states[qi]
+		s.ecsStart, s.ecsEnd = int32(start), int32(len(ge.ecsArena))
+	}
+}
+
+// buildReverse assembles the CSR reverse adjacency over every explored
+// in-cap edge, once; the fixpoint rounds filter it by the shrinking X
+// set instead of rebuilding it.
+func (ge *graphEngine) buildReverse() {
+	counts := make([]int32, len(ge.states)+1)
+	for _, t := range ge.succArena {
+		if t >= 0 {
+			counts[t+1]++
 		}
 	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	ge.revOff = counts
+	total := counts[len(counts)-1]
+	ge.revSrc = make([]int32, total)
+	ge.revECS = make([]int32, total)
+	fill := make([]int32, len(ge.states))
+	for si := range ge.states {
+		s := &ge.states[si]
+		for i := 0; i < ge.ecsCount(s); i++ {
+			k := s.ecsStart + int32(i)
+			for _, t := range ge.succOf(s, i) {
+				if t < 0 {
+					continue
+				}
+				e := ge.revOff[t] + fill[t]
+				fill[t]++
+				ge.revSrc[e] = int32(si)
+				ge.revECS[e] = k
+			}
+		}
+	}
+	ge.usable = make([]bool, len(ge.ecsArena))
+	ge.dist = make([]int64, len(ge.states))
 }
 
 // ecsUsable reports whether ECS i of state s keeps all successors inside
 // the current X set.
 func (ge *graphEngine) ecsUsable(s *gstate, i int) bool {
-	for _, t := range s.succ[i] {
+	for _, t := range ge.succOf(s, i) {
 		if t < 0 || !ge.states[t].inX {
 			return false
 		}
@@ -224,20 +318,22 @@ func (ge *graphEngine) ecsUsable(s *gstate, i int) bool {
 // solve runs the alternating fixpoint; it returns true when the initial
 // marking admits a schedule (the root's source successor stays in X).
 func (ge *graphEngine) solve(rootID int) bool {
-	for _, s := range ge.states {
-		s.inX = true
+	ge.buildReverse()
+	for i := range ge.states {
+		ge.states[i].inX = true
 	}
 	for {
 		changed := false
 		// Closure: a state needs at least one usable ECS; removals
 		// cascade across outer rounds.
-		for _, s := range ge.states {
+		for i := range ge.states {
+			s := &ge.states[i]
 			if !s.inX {
 				continue
 			}
 			ok := false
-			for i := range s.ecs {
-				if ge.ecsUsable(s, i) {
+			for j := 0; j < ge.ecsCount(s); j++ {
+				if ge.ecsUsable(s, j) {
 					ok = true
 					break
 				}
@@ -251,7 +347,8 @@ func (ge *graphEngine) solve(rootID int) bool {
 			return false
 		}
 		ge.computeRanks(rootID)
-		for _, s := range ge.states {
+		for i := range ge.states {
+			s := &ge.states[i]
 			if s.inX && s.rank < 0 {
 				s.inX = false
 				changed = true
@@ -265,8 +362,9 @@ func (ge *graphEngine) solve(rootID int) bool {
 		}
 	}
 	// The root must be able to fire the source and stay in X.
-	root := ge.states[rootID]
-	for i, E := range root.ecs {
+	root := &ge.states[rootID]
+	for i := 0; i < ge.ecsCount(root); i++ {
+		E := ge.ecsAt(root, i)
 		if len(E.Trans) == 1 && E.Trans[0] == ge.source && ge.ecsUsable(root, i) {
 			return true
 		}
@@ -285,57 +383,66 @@ const occupancyWeight = 64
 // can reach the root inside X; following any rank-decreasing choice
 // yields property 5 of the schedule definition.
 func (ge *graphEngine) computeRanks(rootID int) {
-	for _, s := range ge.states {
-		s.rank = -1
+	// Refresh the per-arena-entry usability cache for this round, then
+	// run the reverse Dijkstra over the prebuilt CSR adjacency. All
+	// buffers are engine-owned and reused, so fixpoint rounds after the
+	// first allocate nothing.
+	for i := range ge.states {
+		ge.states[i].rank = -1
 	}
-	// Reverse adjacency restricted to usable ECS edges.
-	rev := make([][]int32, len(ge.states)) // target -> sources
-	for _, s := range ge.states {
+	for k := range ge.usable {
+		ge.usable[k] = false
+	}
+	for i := range ge.states {
+		s := &ge.states[i]
 		if !s.inX {
 			continue
 		}
-		for i := range s.ecs {
-			if !ge.ecsUsable(s, i) {
-				continue
-			}
-			for _, t := range s.succ[i] {
-				rev[t] = append(rev[t], int32(s.id))
-			}
+		for j := 0; j < ge.ecsCount(s); j++ {
+			ge.usable[int(s.ecsStart)+j] = ge.ecsUsable(s, j)
 		}
 	}
-	weight := func(s *gstate) int {
-		return 1 + occupancyWeight*ge.occupancy(s.m)
-	}
-	dist := make([]int, len(ge.states))
+	dist := ge.dist
 	for i := range dist {
 		dist[i] = 1 << 30
 	}
 	dist[rootID] = 0
-	h := &rankHeap{items: []rankItem{{id: rootID, d: 0}}}
+	h := &ge.heap
+	h.items = h.items[:0]
+	h.push(rankItem{id: int32(rootID), d: 0})
 	for h.Len() > 0 {
 		it := h.pop()
 		if it.d > dist[it.id] {
 			continue
 		}
-		for _, sid := range rev[it.id] {
-			s := ge.states[sid]
-			cand := it.d + weight(s)
+		for e := ge.revOff[it.id]; e < ge.revOff[it.id+1]; e++ {
+			if !ge.usable[ge.revECS[e]] {
+				continue
+			}
+			sid := ge.revSrc[e]
+			if !ge.states[sid].inX {
+				continue
+			}
+			// Weight = 1 + occupancyWeight * occupancy, with occupancy
+			// precomputed per state at intern time.
+			cand := it.d + 1 + occupancyWeight*int64(ge.states[sid].occ)
 			if cand < dist[sid] {
 				dist[sid] = cand
-				h.push(rankItem{id: int(sid), d: cand})
+				h.push(rankItem{id: sid, d: cand})
 			}
 		}
 	}
-	for _, s := range ge.states {
-		if s.inX && dist[s.id] < 1<<30 {
-			s.rank = dist[s.id]
+	for i := range ge.states {
+		s := &ge.states[i]
+		if s.inX && dist[i] < 1<<30 {
+			s.rank = int32(dist[i])
 		}
 	}
 }
 
 type rankItem struct {
-	id int
-	d  int
+	id int32
+	d  int64
 }
 
 // rankHeap is a minimal binary min-heap on d.
@@ -431,12 +538,13 @@ func (ge *graphEngine) choose(s *gstate) int {
 		key [5]int
 	}
 	var cands []cand
-	for i, E := range s.ecs {
+	for i := 0; i < ge.ecsCount(s); i++ {
+		E := ge.ecsAt(s, i)
 		if !ge.ecsUsable(s, i) {
 			continue
 		}
-		minSucc := 1 << 30
-		for _, t := range s.succ[i] {
+		minSucc := int32(1 << 30)
+		for _, t := range ge.succOf(s, i) {
 			if r := ge.states[t].rank; r >= 0 && r < minSucc {
 				minSucc = r
 			}
@@ -449,7 +557,7 @@ func (ge *graphEngine) choose(s *gstate) int {
 			key[0] = 1
 		}
 		key[1] = ge.selArmIndex(E)
-		key[2] = minSucc
+		key[2] = int(minSucc)
 		key[3] = E.Index
 		cands = append(cands, cand{i: i, key: key})
 	}
@@ -470,23 +578,24 @@ func (ge *graphEngine) choose(s *gstate) int {
 // build emits the schedule induced by σ from the root.
 func (ge *graphEngine) build(rootID int) *Schedule {
 	s := &Schedule{Net: ge.net, Source: ge.source}
-	s.Stats = SearchStats{NodesCreated: len(ge.states)}
+	s.Stats = SearchStats{NodesCreated: len(ge.states), DistinctMarkings: ge.store.Len()}
 	nodeOf := map[int]*Node{}
 	var mk func(id int) *Node
 	mk = func(id int) *Node {
 		if n, ok := nodeOf[id]; ok {
 			return n
 		}
-		st := ge.states[id]
-		n := &Node{ID: len(s.Nodes), Marking: st.m}
+		st := &ge.states[id]
+		// Schedule nodes outlive the engine: clone out of the store arena.
+		n := &Node{ID: len(s.Nodes), Marking: ge.marking(id).Clone()}
 		nodeOf[id] = n
 		s.Nodes = append(s.Nodes, n)
 		var ecsIdx int
 		if id == rootID {
 			// The root fires the source.
 			ecsIdx = -1
-			for i, E := range st.ecs {
-				if len(E.Trans) == 1 && E.Trans[0] == ge.source {
+			for i := 0; i < ge.ecsCount(st); i++ {
+				if E := ge.ecsAt(st, i); len(E.Trans) == 1 && E.Trans[0] == ge.source {
 					ecsIdx = i
 					break
 				}
@@ -497,9 +606,11 @@ func (ge *graphEngine) build(rootID int) *Schedule {
 		if ecsIdx < 0 {
 			return n // defensive; solve() guarantees a choice
 		}
-		n.ECS = st.ecs[ecsIdx]
-		for j, tid := range st.ecs[ecsIdx].Trans {
-			n.Edges = append(n.Edges, Edge{Trans: tid, To: mk(st.succ[ecsIdx][j])})
+		E := ge.ecsAt(st, ecsIdx)
+		n.ECS = E
+		succ := ge.succOf(st, ecsIdx)
+		for j, tid := range E.Trans {
+			n.Edges = append(n.Edges, Edge{Trans: tid, To: mk(int(succ[j]))})
 		}
 		return n
 	}
@@ -534,7 +645,7 @@ func Diagnose(n *petri.Net, source int, opt *Options) *GraphDiagnosis {
 		source: source,
 		opt:    eff,
 		part:   n.ECSPartition(),
-		index:  map[string]int{},
+		store:  petri.NewMarkingStore(len(n.Places)),
 	}
 	if cp, ok := eff.Term.(CapProvider); ok {
 		ge.caps = cp.Caps(n)
@@ -546,18 +657,19 @@ func Diagnose(n *petri.Net, source int, opt *Options) *GraphDiagnosis {
 	d := &GraphDiagnosis{States: len(ge.states)}
 	const maxSample = 16
 	plainDead := map[int]bool{}
-	for _, s := range ge.states {
-		if len(s.ecs) == 0 {
-			plainDead[s.id] = true
+	for id := range ge.states {
+		s := &ge.states[id]
+		if ge.ecsCount(s) == 0 {
+			plainDead[id] = true
 			if len(d.Deadlocks) < maxSample {
-				d.Deadlocks = append(d.Deadlocks, s.m)
+				d.Deadlocks = append(d.Deadlocks, ge.marking(id).Clone())
 			}
 			continue
 		}
 		usable := false
-		for i := range s.succ {
+		for i := 0; i < ge.ecsCount(s); i++ {
 			ok := true
-			for _, t := range s.succ[i] {
+			for _, t := range ge.succOf(s, i) {
 				if t < 0 {
 					ok = false
 					break
@@ -569,17 +681,17 @@ func Diagnose(n *petri.Net, source int, opt *Options) *GraphDiagnosis {
 			}
 		}
 		if !usable {
-			plainDead[s.id] = true
+			plainDead[id] = true
 			if len(d.CapDead) < maxSample {
-				d.CapDead = append(d.CapDead, s.m)
+				d.CapDead = append(d.CapDead, ge.marking(id).Clone())
 			}
 		}
 	}
 	d.Solved = ge.solve(rootID)
 	d.RootInX = ge.states[rootID].inX
-	for _, s := range ge.states {
-		if !s.inX && !plainDead[s.id] && len(d.FirstRemoved) < maxSample {
-			d.FirstRemoved = append(d.FirstRemoved, s.m)
+	for id := range ge.states {
+		if !ge.states[id].inX && !plainDead[id] && len(d.FirstRemoved) < maxSample {
+			d.FirstRemoved = append(d.FirstRemoved, ge.marking(id).Clone())
 		}
 	}
 	return d

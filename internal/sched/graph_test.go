@@ -182,3 +182,36 @@ func TestMutuallyIndependentDiagnostics(t *testing.T) {
 		t.Error("empty set should give nil bounds")
 	}
 }
+
+// TestGraphEngineAllocAmortized pins the zero-alloc property of the
+// graph engine's inner loop: allocations must not scale with the number
+// of fired transitions. A k=8 divider visits hundreds of states and
+// fires thousands of transitions; the engine may allocate for its
+// arenas and per-state metadata (amortized growth), but the per-fired-
+// transition hot pair (FireInto + store probe) contributes nothing —
+// the total must stay far below the fired-transition count.
+func TestGraphEngineAllocAmortized(t *testing.T) {
+	n := dividerNet(24)
+	n.Warm()
+	s, err := FindSchedule(n, 0, nil)
+	if err != nil {
+		t.Fatalf("warmup search: %v", err)
+	}
+	states := s.Stats.NodesCreated
+	if states < 10000 {
+		t.Fatalf("divider-24 visited only %d states; test net too small to be meaningful", states)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := FindSchedule(n, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Every state fires at least one transition; per-fired-transition
+	// allocation would show up as allocs >= states (~30000 here). What
+	// remains scales with the *emitted schedule* (~625 kept nodes plus
+	// validation) and amortized arena growth — an order of magnitude
+	// below the state count.
+	if allocs > float64(states)/4 {
+		t.Fatalf("search allocated %.0f objects for %d states — inner loop is allocating per transition", allocs, states)
+	}
+}

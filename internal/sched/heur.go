@@ -9,13 +9,21 @@ import (
 )
 
 // OrderContext is the information available to an ECS ordering heuristic
-// at one search node.
+// at one search node. Engines reuse one context across nodes: Fired and
+// Path alias engine-owned buffers and are only valid for the duration of
+// the Sort call.
 type OrderContext struct {
-	Net       *petri.Net
-	Marking   petri.Marking
-	Fired     []int // per-transition fire counts on the path from root
-	Source    int
-	Ancestors []petri.Marking
+	Net     *petri.Net
+	Marking petri.Marking
+	Fired   []int // per-transition fire counts on the path from root
+	Source  int
+	// Path holds the markings on the search path from the root to the
+	// current node inclusive (root first); order is what termination
+	// lookaheads need, membership is what matters.
+	Path []petri.Marking
+	// Scratch is a firing buffer orderings may reuse (via FireInto) for
+	// lookahead, keeping Sort allocation-free across calls.
+	Scratch petri.Marking
 }
 
 // ECSOrder sorts the enabled ECSs at a node; the search explores them in
@@ -44,6 +52,10 @@ type TInvariantOrder struct {
 	source int
 	term   Termination
 	base   []linalg.Vector
+	// part caches the net's ECS partition: coverRows needs it at every
+	// node and recomputing it rebuilt preset-key strings per transition
+	// per node.
+	part []*petri.ECS
 	// procOf maps transition ID to its process name ("" for environment
 	// transitions).
 	procOf []string
@@ -56,7 +68,7 @@ type TInvariantOrder struct {
 // NewTInvariantOrder computes the T-invariant base of the net and
 // prepares the heuristic for the given source transition.
 func NewTInvariantOrder(n *petri.Net, source int, term Termination) *TInvariantOrder {
-	o := &TInvariantOrder{net: n, source: source, term: term}
+	o := &TInvariantOrder{net: n, source: source, term: term, part: n.ECSPartition()}
 	o.base = linalg.TInvariantBasis(n.IncidenceMatrix())
 	for _, b := range o.base {
 		if b[source] > 0 {
@@ -122,9 +134,8 @@ func (o *TInvariantOrder) promisingVector(ctx *OrderContext) linalg.Vector {
 // process of E appears in b but no transition of E does, selecting b
 // requires selecting some invariant that does fire E.
 func (o *TInvariantOrder) coverRows(m petri.Marking) []linalg.BinateRow {
-	part := o.net.ECSPartition()
 	var rows []linalg.BinateRow
-	for _, E := range part {
+	for _, E := range o.part {
 		if E.IsSourceECS(o.net) {
 			continue
 		}
@@ -211,14 +222,15 @@ func (o *TInvariantOrder) Sort(ctx *OrderContext, enabled []*petri.ECS) []*petri
 			}
 		}
 		// 1: one-step lookahead — does any child trigger termination?
+		// ctx.Path already includes the current marking, and Scratch
+		// keeps the fired child off the heap.
 		for _, t := range E.Trans {
 			tr := o.net.Transitions[t]
 			if !ctx.Marking.Enabled(tr) {
 				continue
 			}
-			child := ctx.Marking.Fire(tr)
-			anc := append([]petri.Marking{ctx.Marking}, ctx.Ancestors...)
-			if o.term.Prune(child, anc) {
+			ctx.Scratch = ctx.Marking.FireInto(ctx.Scratch, tr)
+			if o.term.Prune(ctx.Scratch, ctx.Path) {
 				k[1] = 1
 				break
 			}

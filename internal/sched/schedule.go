@@ -45,11 +45,16 @@ type Schedule struct {
 
 // SearchStats reports search effort.
 type SearchStats struct {
-	NodesCreated int  // tree nodes created by EP/EP_ECS
-	NodesKept    int  // schedule nodes after post-processing
-	MaxDepth     int  // deepest tree node
-	Pruned       int  // nodes cut by the termination condition
-	UsedTInv     bool // whether the T-invariant heuristic was active
+	NodesCreated int // tree nodes created by EP/EP_ECS, or graph states
+	NodesKept    int // schedule nodes after post-processing
+	MaxDepth     int // deepest tree node
+	Pruned       int // nodes cut by the termination condition
+	// DistinctMarkings counts the markings interned by the search's
+	// hash-consing store. For the graph engine it equals NodesCreated;
+	// for the tree engines the gap NodesCreated-DistinctMarkings measures
+	// how much interleaving re-exploration the graph engine avoids.
+	DistinctMarkings int
+	UsedTInv         bool // whether the T-invariant heuristic was active
 }
 
 // IsAwait reports whether the node awaits an environment trigger, i.e.

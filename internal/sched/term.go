@@ -12,7 +12,11 @@ import (
 // maximal subtree of the reachability tree on which θ never holds.
 type Termination interface {
 	// Prune receives the new node's marking and the markings of its
-	// proper ancestors, nearest first (the root marking is last).
+	// proper ancestors, root first. The slice aliases an engine-owned
+	// stack: implementations must not retain it across calls. All
+	// built-in conditions treat it as an unordered set (plus its
+	// length), which is what lets the engines maintain it push/pop
+	// instead of rebuilding it per node.
 	Prune(m petri.Marking, ancestors []petri.Marking) bool
 	// Name identifies the condition in diagnostics.
 	Name() string

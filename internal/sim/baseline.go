@@ -47,6 +47,10 @@ type runner struct {
 	cond   blockCond // nil when runnable unconditionally
 	dead   bool      // permanently blocked (input exhausted) or crashed
 	err    error
+	// rbuf is the runner's channel-read scratch: READ_DATA copies the
+	// received values straight into the destination cell, so the
+	// intermediate slice never escapes a step and is reused.
+	rbuf []int64
 }
 
 type quitPanic struct{}
@@ -326,9 +330,11 @@ func (b *Baseline) execRead(r *runner, x *flowc.Read) error {
 			ch.BlockedReads++
 			b.park(r, func() bool { return ch.CanRead(x.NItems) })
 		}
-		var err error
-		vals, err = ch.Read(x.NItems)
-		if err != nil {
+		if cap(r.rbuf) < x.NItems {
+			r.rbuf = make([]int64, x.NItems)
+		}
+		vals = r.rbuf[:x.NItems]
+		if err := ch.ReadInto(vals, x.NItems); err != nil {
 			return err
 		}
 	case link.BindEnvIn:

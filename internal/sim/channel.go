@@ -3,11 +3,17 @@ package sim
 import "fmt"
 
 // Channel is a FIFO of integers with an optional capacity, shared by the
-// two executors. Capacity 0 means unbounded.
+// two executors. Capacity 0 means unbounded. Storage is a power-of-two
+// ring: the previous reslice-forward implementation retained every
+// consumed prefix until the next growth and reallocated proportionally
+// to total throughput, which the corpus sweep's long simulations paid
+// for on every run.
 type Channel struct {
 	Name     string
 	Capacity int
-	buf      []int64
+	ring     []int64 // power-of-two ring storage
+	head     int     // index of the oldest item
+	count    int     // occupancy
 
 	// Stats.
 	Reads, Writes int64 // completed operations
@@ -23,7 +29,7 @@ func NewChannel(name string, capacity int) *Channel {
 }
 
 // Len returns the current occupancy.
-func (c *Channel) Len() int { return len(c.buf) }
+func (c *Channel) Len() int { return c.count }
 
 // Space returns the free space, or a large number for unbounded
 // channels.
@@ -31,26 +37,46 @@ func (c *Channel) Space() int {
 	if c.Capacity <= 0 {
 		return 1 << 30
 	}
-	return c.Capacity - len(c.buf)
+	return c.Capacity - c.count
 }
 
 // CanRead reports whether n items are available.
-func (c *Channel) CanRead(n int) bool { return len(c.buf) >= n }
+func (c *Channel) CanRead(n int) bool { return c.count >= n }
 
 // CanWrite reports whether n items fit.
 func (c *Channel) CanWrite(n int) bool { return c.Space() >= n }
 
-// Read removes n items; the caller must have checked CanRead.
+// Read removes n items into a fresh slice; the caller must have checked
+// CanRead. Hot paths that do not retain the values use ReadInto.
 func (c *Channel) Read(n int) ([]int64, error) {
-	if !c.CanRead(n) {
-		return nil, fmt.Errorf("sim: channel %s: read %d with %d available", c.Name, n, len(c.buf))
-	}
 	out := make([]int64, n)
-	copy(out, c.buf[:n])
-	c.buf = c.buf[n:]
+	if err := c.ReadInto(out, n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto removes n items into dst[:n] without allocating; dst must
+// hold at least n items.
+func (c *Channel) ReadInto(dst []int64, n int) error {
+	if !c.CanRead(n) {
+		return fmt.Errorf("sim: channel %s: read %d with %d available", c.Name, n, c.count)
+	}
+	mask := len(c.ring) - 1
+	first := n
+	if wrap := len(c.ring) - c.head; first > wrap {
+		first = wrap
+	}
+	copy(dst[:first], c.ring[c.head:c.head+first])
+	copy(dst[first:n], c.ring[:n-first])
+	c.head = (c.head + n) & mask
+	c.count -= n
+	if c.count == 0 {
+		c.head = 0
+	}
 	c.Reads++
 	c.ItemsMoved += int64(n)
-	return out, nil
+	return nil
 }
 
 // Write appends n items; the caller must have checked CanWrite.
@@ -58,13 +84,45 @@ func (c *Channel) Write(vals []int64) error {
 	if !c.CanWrite(len(vals)) {
 		return fmt.Errorf("sim: channel %s: write %d with %d free", c.Name, len(vals), c.Space())
 	}
-	c.buf = append(c.buf, vals...)
-	if len(c.buf) > c.MaxOccupancy {
-		c.MaxOccupancy = len(c.buf)
+	c.reserve(c.count + len(vals))
+	mask := len(c.ring) - 1
+	tail := (c.head + c.count) & mask
+	first := len(vals)
+	if wrap := len(c.ring) - tail; first > wrap {
+		first = wrap
+	}
+	copy(c.ring[tail:tail+first], vals[:first])
+	copy(c.ring[:len(vals)-first], vals[first:])
+	c.count += len(vals)
+	if c.count > c.MaxOccupancy {
+		c.MaxOccupancy = c.count
 	}
 	c.Writes++
 	c.ItemsMoved += int64(len(vals))
 	return nil
+}
+
+// reserve grows the ring to the next power of two holding want items,
+// unrolling the occupants to the front of the new storage.
+func (c *Channel) reserve(want int) {
+	if want <= len(c.ring) {
+		return
+	}
+	size := 8
+	for size < want {
+		size *= 2
+	}
+	nr := make([]int64, size)
+	if c.count > 0 {
+		first := c.count
+		if wrap := len(c.ring) - c.head; first > wrap {
+			first = wrap
+		}
+		copy(nr, c.ring[c.head:c.head+first])
+		copy(nr[first:], c.ring[:c.count-first])
+	}
+	c.ring = nr
+	c.head = 0
 }
 
 // InputStream models an environment input port: a queue of values

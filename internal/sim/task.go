@@ -41,6 +41,8 @@ type TaskExec struct {
 	cur    *sched.Node
 	curSeg *codegen.Segment
 	segOf  map[int]*codegen.Segment // ECS index -> segment containing it
+	// rbuf is the channel-read scratch; see runner.rbuf in baseline.go.
+	rbuf []int64
 }
 
 // NewTaskExec prepares execution of a generated task within its system.
@@ -259,11 +261,16 @@ func (te *TaskExec) execRead(sc *Scope, proc string, x *flowc.Read) error {
 	switch bd.Kind {
 	case link.BindChannel:
 		pid := bd.Channel.Place.ID
+		if cap(te.rbuf) < x.NItems {
+			te.rbuf = make([]int64, x.NItems)
+		}
 		if ch := te.intra[pid]; ch != nil {
-			vals, err = ch.Read(x.NItems)
+			vals = te.rbuf[:x.NItems]
+			err = ch.ReadInto(vals, x.NItems)
 			m.Charge(m.Cost.LocalItem * int64(x.NItems))
 		} else if ch := te.Shared[bd.Channel.Spec.Name]; ch != nil {
-			vals, err = ch.Read(x.NItems)
+			vals = te.rbuf[:x.NItems]
+			err = ch.ReadInto(vals, x.NItems)
 			m.Charge(m.Cost.commCall(true) + m.Cost.CommItem*int64(x.NItems))
 		} else {
 			err = fmt.Errorf("sim: channel %s is neither intra-task nor shared", bd.Channel.Spec.Name)
