@@ -12,6 +12,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
+BENCH_ALLOC_TOLERANCE ?= 0.20
 
 .PHONY: ci build vet test bench benchgate baseline fuzz-smoke
 
@@ -30,7 +31,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 benchgate:
-	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 baseline:
 	$(GO) run ./cmd/benchdiff -update

@@ -1,15 +1,16 @@
 // Command benchdiff is the benchmark-regression gate of the CI
 // pipeline. It runs the tier-1 benchmarks, writes a dated
 // BENCH_<date>.json snapshot (ns/op, B/op, allocs/op and custom metrics
-// such as corpus apps/s), and compares ns/op against the committed
-// baseline JSON: a regression beyond the tolerance fails the run (and
-// with it `make ci`).
+// such as corpus apps/s), and compares both ns/op and allocs/op against
+// the committed baseline JSON: a regression beyond the tolerance on
+// either dimension fails the run (and with it `make ci`).
 //
 // Usage:
 //
 //	go run ./cmd/benchdiff                  # gate against bench_baseline.json
 //	go run ./cmd/benchdiff -update          # rewrite the baseline in place
-//	go run ./cmd/benchdiff -tolerance 0.5   # loosen the gate
+//	go run ./cmd/benchdiff -tolerance 0.5   # loosen the time gate
+//	go run ./cmd/benchdiff -alloc-tolerance 0.5  # loosen the alloc gate
 //
 // Each benchmark runs -count times and the best (minimum) ns/op is
 // compared, which filters scheduler noise on shared machines the same
@@ -48,14 +49,15 @@ type Snapshot struct {
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", "BenchmarkSynthesisPFC$|BenchmarkCorpusSerial$", "benchmarks to run (go test -bench regexp)")
-		benchtime = flag.String("benchtime", "3x", "go test -benchtime per run")
-		count     = flag.Int("count", 2, "runs per benchmark; the fastest is kept")
-		pkg       = flag.String("pkg", ".", "package holding the benchmarks")
-		baseline  = flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
-		out       = flag.String("out", "", "snapshot path (default BENCH_<date>.json)")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op regression fraction")
-		update    = flag.Bool("update", false, "rewrite the baseline with this run instead of gating")
+		benchRe        = flag.String("bench", "BenchmarkSynthesisPFC$|BenchmarkCorpusSerial$|BenchmarkExploreLarge", "benchmarks to run (go test -bench regexp)")
+		benchtime      = flag.String("benchtime", "3x", "go test -benchtime per run")
+		count          = flag.Int("count", 2, "runs per benchmark; the fastest is kept")
+		pkg            = flag.String("pkg", ".", "package holding the benchmarks")
+		baseline       = flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
+		out            = flag.String("out", "", "snapshot path (default BENCH_<date>.json)")
+		tolerance      = flag.Float64("tolerance", 0.20, "allowed ns/op regression fraction")
+		allocTolerance = flag.Float64("alloc-tolerance", 0.20, "allowed allocs/op regression fraction")
+		update         = flag.Bool("update", false, "rewrite the baseline with this run instead of gating")
 	)
 	flag.Parse()
 
@@ -88,7 +90,7 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%w (run with -update to create it)", err))
 	}
-	if failed := gate(base, cur, *tolerance); failed {
+	if failed := gate(base, cur, *tolerance, *allocTolerance); failed {
 		os.Exit(1)
 	}
 }
@@ -198,11 +200,13 @@ func readBaseline(path string) (*Snapshot, error) {
 }
 
 // gate prints a comparison table and reports whether any gated
-// benchmark regressed beyond the tolerance. ns/op is the failing
-// dimension; B/op, allocs/op and custom metrics are informational.
-func gate(base, cur *Snapshot, tolerance float64) (failed bool) {
-	fmt.Printf("benchdiff: baseline %s (%s) vs current (%s), tolerance %.0f%%\n",
-		base.Date, base.GoVersion, cur.GoVersion, tolerance*100)
+// benchmark regressed beyond the tolerances. ns/op and allocs/op are
+// failing dimensions (an allocation regression on a hot path is a real
+// regression even when a fast machine hides the time cost); B/op and
+// custom metrics are informational.
+func gate(base, cur *Snapshot, tolerance, allocTolerance float64) (failed bool) {
+	fmt.Printf("benchdiff: baseline %s (%s) vs current (%s), tolerance %.0f%% ns/op, %.0f%% allocs/op\n",
+		base.Date, base.GoVersion, cur.GoVersion, tolerance*100, allocTolerance*100)
 	for name, b := range base.Benchmarks {
 		c, ok := cur.Benchmarks[name]
 		if !ok {
@@ -219,12 +223,18 @@ func gate(base, cur *Snapshot, tolerance float64) (failed bool) {
 		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			name, b.NsPerOp, c.NsPerOp, delta*100, status)
 		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
-			fmt.Printf("  %-40s %12.0f -> %12.0f allocs/op %+6.1f%%  (informational)\n",
-				"", b.AllocsPerOp, c.AllocsPerOp, 100*(c.AllocsPerOp-b.AllocsPerOp)/b.AllocsPerOp)
+			adelta := (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			astatus := "ok"
+			if adelta > allocTolerance {
+				astatus = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-40s %12.0f -> %12.0f allocs/op %+6.1f%%  %s\n",
+				"", b.AllocsPerOp, c.AllocsPerOp, adelta*100, astatus)
 		}
 	}
 	if failed {
-		fmt.Println("benchdiff: FAIL — ns/op regressed beyond tolerance (rerun on an idle machine, or refresh the baseline with -update if the change is intended)")
+		fmt.Println("benchdiff: FAIL — ns/op or allocs/op regressed beyond tolerance (rerun on an idle machine, or refresh the baseline with -update if the change is intended)")
 	} else {
 		fmt.Println("benchdiff: PASS")
 	}

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	pfcbench [-fig20] [-table1] [-table2] [-all] [-frames N]
+//	         [-explore-workers N] [-cpuprofile f] [-memprofile f]
+//
+// -explore-workers parallelizes the schedule search's state-space
+// exploration (results are byte-identical for every value);
+// -cpuprofile/-memprofile write pprof profiles, so perf regressions
+// can be diagnosed without editing source.
 package main
 
 import (
@@ -13,57 +19,79 @@ import (
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
 func main() {
+	// realMain so the profiling defers run before the process exits.
+	os.Exit(realMain())
+}
+
+func realMain() (code int) {
 	fig20 := flag.Bool("fig20", false, "regenerate Figure 20 (buffer-size sweep)")
 	table1 := flag.Bool("table1", false, "regenerate Table 1 (frame-count sweep)")
 	table2 := flag.Bool("table2", false, "regenerate Table 2 (code size)")
 	all := flag.Bool("all", false, "regenerate everything")
 	frames := flag.Int("frames", 10, "frames for Figure 20")
+	exploreWorkers := flag.Int("explore-workers", 0, "goroutines for the schedule-search exploration (0 = auto budget)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *all {
 		*fig20, *table1, *table2 = true, true, true
 	}
 	if !*fig20 && !*table1 && !*table2 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	res, err := apps.SynthesizePFC()
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			if c := fatal(err); code == 0 {
+				code = c
+			}
+		}
+	}()
+	res, err := apps.SynthesizePFCWith(&core.Options{ExploreWorkers: *exploreWorkers, DisableCache: true})
+	if err != nil {
+		return fatal(err)
 	}
 	fmt.Printf("synthesized pfc: schedule %d nodes, %d segments, all channel bounds = 1\n\n",
 		len(res.Schedules[0].Nodes), len(res.Tasks[0].Segments))
 	if *fig20 {
 		pts, err := sim.Figure20(res, *frames, []int{1, 2, 5, 10, 20, 50, 100})
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := sim.PrintFigure20(os.Stdout, pts); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println()
 	}
 	if *table1 {
 		rows, err := sim.Table1(res, []int{10, 50, 100, 500, 1000})
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := sim.PrintTable1(os.Stdout, rows); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println()
 	}
 	if *table2 {
 		if err := sim.PrintTable2(os.Stdout, sim.Table2(res)); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "pfcbench:", err)
-	os.Exit(1)
+	return 1
 }

@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	qssbatch [-n apps] [-seed N] [-workers N] [-compare] [shape flags] [-v]
+//	qssbatch [-n apps] [-seed N] [-workers N] [-explore-workers N]
+//	         [-compare] [-cpuprofile f] [-memprofile f] [shape flags] [-v]
 //
 // -workers bounds the number of concurrent app syntheses (0 =
-// GOMAXPROCS). -compare additionally runs the serial baseline and
-// prints the speedup. Shape flags mirror corpus.Config; see
-// internal/corpus.
+// GOMAXPROCS); -explore-workers additionally parallelizes each
+// schedule search's state-space exploration (the second level of the
+// parallelism model). -compare additionally runs the serial baseline
+// and prints the speedup. -cpuprofile/-memprofile write pprof
+// profiles, so perf regressions can be diagnosed without editing
+// source. Shape flags mirror corpus.Config; see internal/corpus.
 package main
 
 import (
@@ -21,13 +25,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/profiling"
 )
 
 func main() {
+	// realMain so the profiling defers run before the process exits.
+	os.Exit(realMain())
+}
+
+func realMain() (code int) {
 	n := flag.Int("n", 20, "number of corpus apps to generate")
 	seed := flag.Int64("seed", 1, "master corpus seed")
 	workers := flag.Int("workers", 0, "concurrent app syntheses (0 = GOMAXPROCS)")
+	exploreWorkers := flag.Int("explore-workers", 1, "goroutines per schedule-search exploration (0 = auto budget)")
 	compare := flag.Bool("compare", false, "also run the serial baseline and report the speedup")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	verbose := flag.Bool("v", false, "print one line per app")
 
 	cfg := corpus.DefaultConfig()
@@ -43,7 +56,7 @@ func main() {
 
 	if *n < 0 {
 		fmt.Fprintln(os.Stderr, "qssbatch: -n must be >= 0")
-		os.Exit(2)
+		return 2
 	}
 	apps := corpus.GenerateCorpus(*seed, *n, cfg)
 	procs := 0
@@ -52,9 +65,24 @@ func main() {
 	}
 	fmt.Printf("corpus: %d apps, %d processes (seed %d)\n", len(apps), procs, *seed)
 
-	// The batch scales out over apps; keep the per-app schedule search
-	// serial so the two levels of parallelism do not contend.
-	copt := &core.Options{Workers: 1, DisableCache: true}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qssbatch:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "qssbatch:", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}()
+
+	// The batch scales out over apps; the per-app source pool stays
+	// serial so the app level and the frontier level are the only two
+	// pools contending for cores.
+	copt := &core.Options{Workers: 1, ExploreWorkers: *exploreWorkers, DisableCache: true}
 
 	run := func(w int) *corpus.BatchResult {
 		return corpus.RunBatch(context.Background(), apps, corpus.BatchOptions{Workers: w, Core: copt})
@@ -72,8 +100,9 @@ func main() {
 		fmt.Printf("speedup: %.2fx\n", serial.Elapsed.Seconds()/br.Elapsed.Seconds())
 	}
 	if br.Failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func effectiveWorkers(w int) int {

@@ -29,16 +29,40 @@
 // ~49ms/4k allocs per run on the reference container (5.1x / 253x) and
 // is what allows the corpus generator to double its per-edge burst cap.
 //
+// # Incremental enablement
+//
+// Exploration loops used to re-test the entire equal-conflict
+// partition at every visited marking. petri.EnabledTracker replaces
+// that with incremental maintenance: a once-per-net place->ECS reverse
+// index identifies the few ECSs whose presets intersect the places a
+// firing actually changes, and per-state enabled sets are bitsets
+// derived from the parent state's. The reachability explorer
+// (petri.Explore), the scheduler's marking-graph engine and the EP/
+// EP_ECS tree engines all expand states by iterating their enabled-set
+// bits instead of scanning the partition.
+//
 // # Concurrency and caching
 //
-// The core facade is a concurrent synthesis engine: the per-source
-// schedule searches of one system run on a bounded worker pool
-// (core.Options.Workers) with deterministic result ordering and
-// first-error cancellation via context (core.SynthesizeContext,
-// core.SynthesizeSystemContext). Results are memoized in a
-// content-addressed cache keyed by FlowC source, netlist and options,
-// so repeated synthesis of an unchanged app costs a hash and a map
-// lookup (core.Stats reports hit rates; core.ResetCache empties it).
+// Parallelism is two-level: sources x frontier. At the source level,
+// the per-source schedule searches of one system run on a bounded
+// worker pool (core.Options.Workers) with deterministic result
+// ordering and first-error cancellation via context
+// (core.SynthesizeContext, core.SynthesizeSystemContext). At the
+// frontier level, each search's own state-space exploration fans out
+// across cores (core.Options.ExploreWorkers / sched.Options.
+// ExploreWorkers): petri.RunFrontier explores one BFS level at a time
+// — parallel fire+hash over frontier chunks, parallel per-shard
+// deduplication through the striped petri.ShardedStore, then a cheap
+// sequential merge that assigns dense MarkIDs in first-discovery
+// order — so state numbering, schedules and generated code are
+// byte-identical for every worker count. core wires the two levels
+// into one GOMAXPROCS budget: many sources keep the frontier serial, a
+// single-source system gets every core at the frontier. Results are
+// memoized in a content-addressed cache keyed by FlowC source, netlist
+// and options (worker counts excluded — they cannot change the
+// result), so repeated synthesis of an unchanged app costs a hash and
+// a map lookup (core.Stats reports hit rates; core.ResetCache empties
+// it).
 //
 // # Scenario corpus
 //

@@ -324,7 +324,13 @@ const FramePixels = FrameLines * LinePixels
 
 // SynthesizePFC runs the full flow on the video application.
 func SynthesizePFC() (*core.Result, error) {
-	return core.Synthesize(PFC, PFCSpec, nil)
+	return SynthesizePFCWith(nil)
+}
+
+// SynthesizePFCWith runs the full flow on the video application under
+// explicit pipeline options (nil = defaults).
+func SynthesizePFCWith(opt *core.Options) (*core.Result, error) {
+	return core.Synthesize(PFC, PFCSpec, opt)
 }
 
 // MultiRate is a line-based pipeline exercising the paper's multi-rate

@@ -17,9 +17,10 @@ import (
 // Only options whose effect on the output can be fingerprinted are
 // cacheable: a custom sched.Termination or sched.ECSOrder is an opaque
 // interface value (its Name alone does not capture its parameters), so
-// calls carrying one bypass the cache entirely. Options.Workers is
-// deliberately not part of the key — the parallel and serial paths
-// produce identical Results.
+// calls carrying one bypass the cache entirely. Options.Workers,
+// Options.ExploreWorkers and Sched.ExploreWorkers are deliberately not
+// part of the key — both levels of the parallelism model produce
+// Results byte-identical to the serial paths.
 
 // cacheLimit bounds the number of retained entries; eviction is FIFO in
 // insertion order, which is enough for the repeat-synthesis workloads

@@ -37,6 +37,15 @@ type Options struct {
 	// safe for concurrent use when Workers > 1; the defaults are built
 	// fresh per search and always are.
 	Workers int
+	// ExploreWorkers bounds the goroutines each schedule search may use
+	// for its own state-space exploration — the frontier level of the
+	// two-level parallelism model (sources x frontier). 0 derives a
+	// value from GOMAXPROCS and the source-level pool so the two levels
+	// share one core budget (a single-source system gets all cores at
+	// the frontier; many sources leave the frontier serial); 1 forces
+	// serial exploration. Results are byte-identical for every value.
+	// An explicit Sched.ExploreWorkers takes precedence.
+	ExploreWorkers int
 	// DisableCache bypasses the content-addressed synthesis cache for
 	// this call. Only the textual entry points (Synthesize,
 	// SynthesizeContext) consult the cache; see cache.go.
@@ -197,13 +206,14 @@ func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Option
 	if workers > len(sources) {
 		workers = len(sources)
 	}
+	schedOpt := wireExploreWorkers(opt, workers)
 	out := make([]*sched.Schedule, len(sources))
 	if workers <= 1 {
 		for i, src := range sources {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
-			s, err := sched.FindSchedule(n, src, opt.Sched)
+			s, err := sched.FindSchedule(n, src, schedOpt)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
@@ -216,7 +226,7 @@ func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Option
 	n.Warm()
 	errs := make([]error, len(sources))
 	pool.Run(ctx, len(sources), workers, func(i int, cancel context.CancelFunc) {
-		s, err := sched.FindSchedule(n, sources[i], opt.Sched)
+		s, err := sched.FindSchedule(n, sources[i], schedOpt)
 		if err != nil {
 			errs[i] = err
 			cancel() // first error: stop dispatching pending searches
@@ -233,6 +243,35 @@ func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Option
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return out, nil
+}
+
+// wireExploreWorkers resolves the frontier-level worker count of the
+// two-level parallelism budget and returns the sched options to use:
+// with srcWorkers searches running concurrently, each search gets
+// GOMAXPROCS/srcWorkers exploration goroutines unless the caller chose
+// explicitly (Options.ExploreWorkers, or a pre-set Sched.ExploreWorkers
+// which always wins). The caller's Options are never mutated.
+func wireExploreWorkers(opt *Options, srcWorkers int) *sched.Options {
+	if opt.Sched != nil && opt.Sched.ExploreWorkers != 0 {
+		return opt.Sched
+	}
+	ew := opt.ExploreWorkers
+	if ew == 0 {
+		if srcWorkers < 1 {
+			srcWorkers = 1
+		}
+		ew = runtime.GOMAXPROCS(0) / srcWorkers
+	}
+	if ew <= 1 {
+		// Serial exploration is the zero value; no copy needed.
+		return opt.Sched
+	}
+	so := sched.Options{}
+	if opt.Sched != nil {
+		so = *opt.Sched
+	}
+	so.ExploreWorkers = ew
+	return &so
 }
 
 // sharedChannels finds channel places touched (with token flow) by more

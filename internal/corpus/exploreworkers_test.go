@@ -1,0 +1,77 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExploreWorkersDeterminism pins the frontier level of the
+// parallelism model end to end: synthesizing corpus apps with parallel
+// state-space exploration must produce generated C byte-identical to
+// the serial path for ExploreWorkers in {1, 4, 8}. Runs under -race
+// via the Makefile, which also exercises the frontier pipeline's
+// goroutines for data races.
+func TestExploreWorkersDeterminism(t *testing.T) {
+	apps := GenerateCorpus(11, 6, DefaultConfig())
+	for _, app := range apps {
+		serial, err := core.Synthesize(app.FlowC, app.Spec, &core.Options{
+			Workers: 1, ExploreWorkers: 1, DisableCache: true,
+		})
+		if err != nil {
+			t.Fatalf("%s serial: %v", app.Name, err)
+		}
+		for _, ew := range []int{4, 8} {
+			par, err := core.Synthesize(app.FlowC, app.Spec, &core.Options{
+				Workers: 1, ExploreWorkers: ew, DisableCache: true,
+			})
+			if err != nil {
+				t.Fatalf("%s explore-workers=%d: %v", app.Name, ew, err)
+			}
+			if len(par.Code) != len(serial.Code) {
+				t.Fatalf("%s explore-workers=%d: %d tasks vs %d", app.Name, ew, len(par.Code), len(serial.Code))
+			}
+			for name, code := range serial.Code {
+				if par.Code[name] != code {
+					t.Fatalf("%s explore-workers=%d: task %s generated C differs from serial", app.Name, ew, name)
+				}
+			}
+			for i := range serial.Schedules {
+				ss, ps := serial.Schedules[i], par.Schedules[i]
+				if ss.Stats != ps.Stats {
+					t.Fatalf("%s explore-workers=%d: schedule %d stats %+v vs %+v",
+						app.Name, ew, i, ps.Stats, ss.Stats)
+				}
+			}
+			for i, b := range serial.Bounds {
+				if par.Bounds[i] != b {
+					t.Fatalf("%s explore-workers=%d: bound[%d] %d vs %d", app.Name, ew, i, par.Bounds[i], b)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreWorkersAutoBudget: the default wiring must hand a
+// single-source system a parallel frontier without the caller setting
+// anything, and still produce the serial result.
+func TestExploreWorkersAutoBudget(t *testing.T) {
+	app := GenerateCorpus(13, 3, DefaultConfig())[1]
+	serial, err := core.Synthesize(app.FlowC, app.Spec, &core.Options{Workers: 1, ExploreWorkers: 1, DisableCache: true})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	auto, err := core.Synthesize(app.FlowC, app.Spec, &core.Options{DisableCache: true})
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	if fmt.Sprint(serial.Bounds) != fmt.Sprint(auto.Bounds) || len(serial.Code) != len(auto.Code) {
+		t.Fatal("auto-budget synthesis differs from serial")
+	}
+	for name, code := range serial.Code {
+		if auto.Code[name] != code {
+			t.Fatalf("auto-budget task %s differs from serial", name)
+		}
+	}
+}

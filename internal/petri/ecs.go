@@ -36,26 +36,86 @@ func (e *ECS) Enabled(n *Net, m Marking) bool {
 // ECSPartition computes the equal-conflict partition of the net's
 // transitions. The result is deterministic: classes are ordered by their
 // smallest member ID, members ascending.
+//
+// Grouping compares canonically sorted preset arc lists directly (one
+// shared arena, a sort, and a linear grouping pass) instead of building
+// a per-transition key string — partition construction is on the
+// once-per-search setup path of every engine and used to dominate its
+// allocation bill.
 func (n *Net) ECSPartition() []*ECS {
-	byKey := map[string][]int{}
+	numT := len(n.Transitions)
+	totalIn := 0
+	for _, t := range n.Transitions {
+		totalIn += len(t.In)
+	}
+	// arcs[off[t]:off[t+1]] is transition t's preset sorted by place.
+	arcs := make([]Arc, 0, totalIn)
+	off := make([]int32, numT+1)
+	var nonSrc []int
+	for _, t := range n.Transitions {
+		off[t.ID] = int32(len(arcs))
+		arcs = append(arcs, t.In...)
+		// Presets are a handful of arcs: insertion-sort the segment in
+		// place rather than paying a reflective sort.Slice per
+		// transition.
+		seg := arcs[off[t.ID]:]
+		for i := 1; i < len(seg); i++ {
+			for j := i; j > 0 && seg[j].Place < seg[j-1].Place; j-- {
+				seg[j], seg[j-1] = seg[j-1], seg[j]
+			}
+		}
+		if !t.IsSource() {
+			nonSrc = append(nonSrc, t.ID)
+		}
+	}
+	off[numT] = int32(len(arcs))
+	preset := func(id int) []Arc { return arcs[off[id]:off[id+1]] }
+	cmpPreset := func(a, b []Arc) int {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i].Place != b[i].Place {
+				if a[i].Place < b[i].Place {
+					return -1
+				}
+				return 1
+			}
+			if a[i].Weight != b[i].Weight {
+				if a[i].Weight < b[i].Weight {
+					return -1
+				}
+				return 1
+			}
+		}
+		return len(a) - len(b)
+	}
+	// Sort non-source transitions by preset (ties by ID): equal presets
+	// become adjacent runs with ascending members.
+	sort.Slice(nonSrc, func(i, j int) bool {
+		if c := cmpPreset(preset(nonSrc[i]), preset(nonSrc[j])); c != 0 {
+			return c < 0
+		}
+		return nonSrc[i] < nonSrc[j]
+	})
 	var classes [][]int
+	for i := 0; i < len(nonSrc); {
+		j := i + 1
+		for j < len(nonSrc) && cmpPreset(preset(nonSrc[i]), preset(nonSrc[j])) == 0 {
+			j++
+		}
+		classes = append(classes, nonSrc[i:j:j])
+		i = j
+	}
+	// Each source transition is its own ECS by definition.
 	for _, t := range n.Transitions {
 		if t.IsSource() {
-			// Each source transition is its own ECS by definition.
 			classes = append(classes, []int{t.ID})
-			continue
 		}
-		k := t.presetKey()
-		byKey[k] = append(byKey[k], t.ID)
-	}
-	for _, ts := range byKey {
-		sort.Ints(ts)
-		classes = append(classes, ts)
 	}
 	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	arena := make([]ECS, len(classes))
 	out := make([]*ECS, len(classes))
 	for i, ts := range classes {
-		out[i] = &ECS{Index: i, Trans: ts}
+		arena[i] = ECS{Index: i, Trans: ts}
+		out[i] = &arena[i]
 	}
 	return out
 }
@@ -75,14 +135,22 @@ func ECSIndex(part []*ECS, numTrans int) []int {
 	return idx
 }
 
-// EnabledECS returns the ECSs of the partition enabled at m, in partition
-// order.
-func EnabledECS(n *Net, part []*ECS, m Marking) []*ECS {
-	var out []*ECS
+// EnabledECSInto appends the ECSs of the partition enabled at m to dst
+// (typically dst[:0] of a caller-owned scratch slice, keeping per-state
+// enabled-set computation allocation-free) and returns the extended
+// slice, in partition order.
+func EnabledECSInto(dst []*ECS, n *Net, part []*ECS, m Marking) []*ECS {
 	for _, e := range part {
 		if e.Enabled(n, m) {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
+}
+
+// EnabledECS returns the ECSs of the partition enabled at m, in
+// partition order. Hot loops use EnabledECSInto with a scratch slice,
+// or an EnabledTracker to skip the full scan entirely.
+func EnabledECS(n *Net, part []*ECS, m Marking) []*ECS {
+	return EnabledECSInto(nil, n, part, m)
 }

@@ -120,5 +120,27 @@ func FuzzExplore(f *testing.F) {
 				}
 			}
 		}
+		// The parallel frontier must reproduce the serial result
+		// byte-for-byte: same numbering, edges and clip flags.
+		popt := opt
+		popt.Workers = 3
+		pres := n.Explore(popt)
+		if pres.Len() != res.Len() || pres.Truncated != res.Truncated {
+			t.Fatalf("parallel explore: %d markings truncated=%v, serial %d/%v",
+				pres.Len(), pres.Truncated, res.Len(), res.Truncated)
+		}
+		for id, m := range res.Store.All() {
+			if !pres.MarkingAt(id).Equal(m) {
+				t.Fatalf("parallel explore numbered marking %d differently", id)
+			}
+			if len(pres.Edges[id]) != len(res.Edges[id]) || pres.Clipped[id] != res.Clipped[id] {
+				t.Fatalf("parallel explore edges/clip differ at marking %d", id)
+			}
+			for j, e := range res.Edges[id] {
+				if pres.Edges[id][j] != e {
+					t.Fatalf("parallel explore edge %d/%d differs", id, j)
+				}
+			}
+		}
 	})
 }

@@ -80,10 +80,12 @@ func (s *MarkingStore) At(id MarkID) Marking {
 	return Marking(s.tokens[i : i+s.places : i+s.places])
 }
 
-// hash is FNV-1a folded over the token words. Deterministic across
+// HashMarking is FNV-1a folded over the token words — the hash every
+// marking store (plain and sharded) keys on. Deterministic across
 // processes, so interning order (and everything derived from it) is
-// reproducible.
-func (s *MarkingStore) hash(m Marking) uint64 {
+// reproducible. Exposed so pipelines that shard or batch markings can
+// hash once and hand the value to InternHashed/LookupHashed.
+func HashMarking(m Marking) uint64 {
 	h := uint64(fnvOffset64)
 	for _, v := range m {
 		h ^= uint64(v)
@@ -94,7 +96,11 @@ func (s *MarkingStore) hash(m Marking) uint64 {
 
 // Lookup returns the MarkID of m if it is interned. It never allocates.
 func (s *MarkingStore) Lookup(m Marking) (MarkID, bool) {
-	h := s.hash(m)
+	return s.LookupHashed(m, HashMarking(m))
+}
+
+// LookupHashed is Lookup with a caller-precomputed HashMarking value.
+func (s *MarkingStore) LookupHashed(m Marking, h uint64) (MarkID, bool) {
 	for slot := uint32(h) & s.mask; ; slot = (slot + 1) & s.mask {
 		e := s.table[slot]
 		if e == 0 {
@@ -111,10 +117,16 @@ func (s *MarkingStore) Lookup(m Marking) (MarkID, bool) {
 // was not present. The second result reports whether the marking is
 // new. Interning an already-present marking performs no allocation.
 func (s *MarkingStore) Intern(m Marking) (MarkID, bool) {
+	return s.InternHashed(m, HashMarking(m))
+}
+
+// InternHashed is Intern with a caller-precomputed HashMarking value —
+// the batched exploration pipeline hashes each successor once on a
+// worker and interns it later without rehashing.
+func (s *MarkingStore) InternHashed(m Marking, h uint64) (MarkID, bool) {
 	if len(m) != s.places {
 		panic("petri: marking length does not match store")
 	}
-	h := s.hash(m)
 	slot := uint32(h) & s.mask
 	for ; ; slot = (slot + 1) & s.mask {
 		e := s.table[slot]

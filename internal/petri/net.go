@@ -8,12 +8,21 @@
 // (equal / unique choice, the UCPN test), place degrees and the
 // irrelevant-marking criterion of Section 4.4 of the paper, incidence
 // matrices, a textual exchange format and DOT export.
+//
+// The exploration substrate shared by the reachability utilities and
+// the scheduler's engines also lives here: MarkingStore hash-conses
+// markings behind dense MarkIDs, EnabledTracker maintains per-marking
+// enabled-ECS bitsets incrementally (firing a transition re-evaluates
+// only the ECSs whose presets intersect the places whose counts
+// changed), and RunFrontier + ShardedStore implement the
+// level-synchronous parallel frontier — the frontier half of the
+// two-level (sources x frontier) parallelism model — with state
+// numbering byte-identical to the serial loops for every worker count.
 package petri
 
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // TransKind distinguishes ordinary transitions from the environment
@@ -301,19 +310,6 @@ func (t *Transition) IsSource() bool {
 // IsUncontrollable reports whether t is an uncontrollable environment
 // source transition.
 func (t *Transition) IsUncontrollable() bool { return t.Kind == TransSourceUnc }
-
-// presetKey returns a canonical string for the preset of t, used to group
-// transitions into equal conflict sets.
-func (t *Transition) presetKey() string {
-	arcs := make([]Arc, len(t.In))
-	copy(arcs, t.In)
-	sort.Slice(arcs, func(i, j int) bool { return arcs[i].Place < arcs[j].Place })
-	var sb strings.Builder
-	for _, a := range arcs {
-		fmt.Fprintf(&sb, "%d:%d;", a.Place, a.Weight)
-	}
-	return sb.String()
-}
 
 // Validate checks structural invariants: arc endpoints in range, positive
 // weights, positive initial markings, and source kinds consistent with

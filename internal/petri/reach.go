@@ -1,6 +1,9 @@
 package petri
 
-import "fmt"
+import (
+	"fmt"
+	mathbits "math/bits"
+)
 
 // Bounded-reachability utilities. The full reachability graph of a net
 // with source transitions is infinite; these helpers explore a finite
@@ -8,7 +11,9 @@ import "fmt"
 
 // ReachResult is the outcome of a bounded exploration. Markings are
 // hash-consed: Store assigns each distinct visited marking a dense
-// MarkID, and Edges is indexed by it.
+// MarkID, and Edges is indexed by it. The numbering, edges and flags
+// are byte-identical for every ExploreOptions.Workers value (including
+// the serial path) and for the tracked vs full-scan enablement paths.
 type ReachResult struct {
 	// Store interns every distinct marking visited; MarkID 0 is the
 	// initial marking.
@@ -49,58 +54,229 @@ type ExploreOptions struct {
 	// FireSources includes source transitions in the exploration when
 	// true; otherwise only internal behaviour is explored.
 	FireSources bool
+	// Workers >= 2 explores each BFS level in parallel (see RunFrontier);
+	// 0 or 1 keeps the exploration on the calling goroutine. State
+	// numbering and edges are identical for every value.
+	Workers int
+	// DisableTracker falls back to testing every transition's enabling
+	// condition at every state instead of maintaining enabled sets
+	// incrementally with an EnabledTracker. Ablation/benchmark knob;
+	// results are identical either way.
+	DisableTracker bool
 }
 
 // Explore performs a breadth-first bounded exploration from the initial
-// marking. The inner loop reuses one scratch vector and interns through
-// the store, so firing a transition allocates only when it discovers a
-// new marking.
+// marking. Enabled transitions are found by an incremental
+// EnabledTracker (firing a transition only re-evaluates the ECSs whose
+// presets it disturbs), successors are hash-consed through the result
+// store, and the inner loop reuses one scratch vector, so firing a
+// transition allocates only when it discovers a new marking. With
+// Options.Workers >= 2 each BFS level fans out over a level-synchronous
+// frontier with deterministic, serial-identical state numbering.
 func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 	if opt.MaxMarkings == 0 {
 		opt.MaxMarkings = 10000
 	}
+	if opt.DisableTracker {
+		return n.exploreFullScan(opt)
+	}
+	part := n.ECSPartition()
+	tr := NewEnabledTracker(n, part)
+	e := &reachExplorer{net: n, opt: opt, part: part, tracker: tr, stride: tr.Stride()}
+	e.res = &ReachResult{Store: NewMarkingStore(len(n.Places))}
+	m0 := n.InitialMarking()
+	e.res.Store.Intern(m0)
+	e.res.Edges = append(e.res.Edges, nil)
+	e.res.Clipped = append(e.res.Clipped, false)
+	e.bits = make([]uint64, e.stride)
+	tr.Init(e.bits, m0)
+	// fireMask masks the per-state enabled sets down to the ECSs this
+	// exploration may fire (source ECSs excluded unless FireSources).
+	e.fireMask = make([]uint64, e.stride)
+	for _, E := range part {
+		if !opt.FireSources && E.IsSourceECS(n) {
+			continue
+		}
+		e.fireMask[E.Index>>6] |= 1 << (uint(E.Index) & 63)
+	}
+	if opt.Workers > 1 {
+		e.exploreParallel()
+	} else {
+		e.exploreSerial()
+	}
+	return e.res
+}
+
+// reachExplorer carries the shared state of one Explore call.
+type reachExplorer struct {
+	net     *Net
+	opt     ExploreOptions
+	part    []*ECS
+	tracker *EnabledTracker
+	stride  int
+	res     *ReachResult
+	// bits is the per-state enabled-ECS arena: state id's set occupies
+	// bits[id*stride : (id+1)*stride].
+	bits     []uint64
+	fireMask []uint64
+}
+
+// overCap reports whether the marking exceeds the per-place token cap.
+func (e *reachExplorer) overCap(m Marking) bool {
+	if e.opt.MaxTokensPerPlace <= 0 {
+		return false
+	}
+	for _, v := range m {
+		if v > e.opt.MaxTokensPerPlace {
+			return true
+		}
+	}
+	return false
+}
+
+// admitState grows the per-state side tables for a freshly interned id
+// and computes its enabled set from the parent's.
+func (e *reachExplorer) admitState(parent MarkID, trans int, m Marking) {
+	e.res.Edges = append(e.res.Edges, nil)
+	e.res.Clipped = append(e.res.Clipped, false)
+	base := len(e.bits)
+	for i := 0; i < e.stride; i++ {
+		e.bits = append(e.bits, 0)
+	}
+	e.tracker.Update(e.bits[base:base+e.stride], e.bits[int(parent)*e.stride:(int(parent)+1)*e.stride], trans, m)
+}
+
+// forEachFireable iterates the fireable ECSs of a state's enabled set
+// in partition order — the serial and parallel paths share it so their
+// edge order is identical by construction.
+func (e *reachExplorer) forEachFireable(set []uint64, fn func(E *ECS)) {
+	for w := 0; w < e.stride; w++ {
+		x := set[w] & e.fireMask[w]
+		for x != 0 {
+			b := mathbits.TrailingZeros64(x)
+			x &= x - 1
+			fn(e.part[w*64+b])
+		}
+	}
+}
+
+func (e *reachExplorer) exploreSerial() {
+	var scratch Marking
+	parentBits := make([]uint64, e.stride)
+	for qi := MarkID(0); int(qi) < e.res.Store.Len(); qi++ {
+		m := e.res.Store.At(qi)
+		// admitState below appends to (and may move) e.bits; iterate a
+		// stable copy of this state's words.
+		copy(parentBits, e.bits[int(qi)*e.stride:(int(qi)+1)*e.stride])
+		e.forEachFireable(parentBits, func(E *ECS) {
+			for _, tid := range E.Trans {
+				scratch = m.FireInto(scratch, e.net.Transitions[tid])
+				if e.overCap(scratch) {
+					e.res.Truncated = true
+					e.res.Clipped[qi] = true
+					continue
+				}
+				id, ok := e.res.Store.Lookup(scratch)
+				if !ok {
+					if e.res.Store.Len() >= e.opt.MaxMarkings {
+						e.res.Truncated = true
+						e.res.Clipped[qi] = true
+						continue
+					}
+					id, _ = e.res.Store.Intern(scratch)
+					e.admitState(qi, tid, scratch)
+				}
+				e.res.Edges[qi] = append(e.res.Edges[qi], ReachEdge{Trans: tid, To: id})
+			}
+		})
+	}
+}
+
+func (e *reachExplorer) exploreParallel() {
+	scratch := make([]Marking, e.opt.Workers)
+	RunFrontier(e.res.Store, e.opt.Workers, FrontierHooks{
+		Expand: func(worker int, id MarkID, m Marking, emit func(int32, Marking)) {
+			e.forEachFireable(e.bits[int(id)*e.stride:(int(id)+1)*e.stride], func(E *ECS) {
+				for _, tid := range E.Trans {
+					scratch[worker] = m.FireInto(scratch[worker], e.net.Transitions[tid])
+					if e.overCap(scratch[worker]) {
+						emit(int32(tid), nil)
+						continue
+					}
+					emit(int32(tid), scratch[worker])
+				}
+			})
+		},
+		Admit: func() bool { return e.res.Store.Len() < e.opt.MaxMarkings },
+		Edge: func(parent MarkID, trans int32, child MarkID, isNew bool) {
+			if isNew {
+				e.admitState(parent, int(trans), e.res.Store.At(child))
+			}
+			e.res.Edges[parent] = append(e.res.Edges[parent], ReachEdge{Trans: int(trans), To: child})
+		},
+		Reject: func(parent MarkID, trans int32, budget bool) bool {
+			e.res.Truncated = true
+			e.res.Clipped[parent] = true
+			return true
+		},
+	})
+}
+
+// exploreFullScan is the pre-tracker loop: every transition's enabling
+// condition is tested at every state. Kept as the ablation baseline for
+// the incremental tracker (ExploreOptions.DisableTracker).
+func (n *Net) exploreFullScan(opt ExploreOptions) *ReachResult {
 	res := &ReachResult{Store: NewMarkingStore(len(n.Places))}
 	m0 := n.InitialMarking()
 	res.Store.Intern(m0)
 	res.Edges = append(res.Edges, nil)
 	res.Clipped = append(res.Clipped, false)
+	// Full-scan edge order follows the ECS partition like the tracked
+	// paths, so all three produce byte-identical results.
+	part := n.ECSPartition()
+	var fireable []*ECS
+	for _, E := range part {
+		if !opt.FireSources && E.IsSourceECS(n) {
+			continue
+		}
+		fireable = append(fireable, E)
+	}
 	var scratch Marking
 	for qi := MarkID(0); int(qi) < res.Store.Len(); qi++ {
 		m := res.Store.At(qi)
-		for _, t := range n.Transitions {
-			if !opt.FireSources && t.IsSource() {
+		for _, E := range fireable {
+			if !E.Enabled(n, m) {
 				continue
 			}
-			if !m.Enabled(t) {
-				continue
-			}
-			scratch = m.FireInto(scratch, t)
-			if opt.MaxTokensPerPlace > 0 {
-				over := false
-				for _, v := range scratch {
-					if v > opt.MaxTokensPerPlace {
-						over = true
-						break
+			for _, tid := range E.Trans {
+				scratch = m.FireInto(scratch, n.Transitions[tid])
+				if opt.MaxTokensPerPlace > 0 {
+					over := false
+					for _, v := range scratch {
+						if v > opt.MaxTokensPerPlace {
+							over = true
+							break
+						}
+					}
+					if over {
+						res.Truncated = true
+						res.Clipped[qi] = true
+						continue
 					}
 				}
-				if over {
-					res.Truncated = true
-					res.Clipped[qi] = true
-					continue
+				id, ok := res.Store.Lookup(scratch)
+				if !ok {
+					if res.Store.Len() >= opt.MaxMarkings {
+						res.Truncated = true
+						res.Clipped[qi] = true
+						continue
+					}
+					id, _ = res.Store.Intern(scratch)
+					res.Edges = append(res.Edges, nil)
+					res.Clipped = append(res.Clipped, false)
 				}
+				res.Edges[qi] = append(res.Edges[qi], ReachEdge{Trans: tid, To: id})
 			}
-			id, ok := res.Store.Lookup(scratch)
-			if !ok {
-				if res.Store.Len() >= opt.MaxMarkings {
-					res.Truncated = true
-					res.Clipped[qi] = true
-					continue
-				}
-				id, _ = res.Store.Intern(scratch)
-				res.Edges = append(res.Edges, nil)
-				res.Clipped = append(res.Clipped, false)
-			}
-			res.Edges[qi] = append(res.Edges[qi], ReachEdge{Trans: t.ID, To: id})
 		}
 	}
 	return res

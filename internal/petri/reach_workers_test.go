@@ -1,0 +1,107 @@
+package petri
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// ringsNet builds `pipes` independent token rings of `stages` places
+// each: the reachable space is the product of the ring positions
+// (stages^pipes states), a scalable shape for exercising the frontier.
+func ringsNet(pipes, stages int) *Net {
+	n := New(fmt.Sprintf("rings-%dx%d", pipes, stages))
+	for p := 0; p < pipes; p++ {
+		var ps []*Place
+		for s := 0; s < stages; s++ {
+			init := 0
+			if s == 0 {
+				init = 1
+			}
+			ps = append(ps, n.AddPlace(fmt.Sprintf("r%d_%d", p, s), PlaceInternal, init))
+		}
+		for s := 0; s < stages; s++ {
+			t := n.AddTransition(fmt.Sprintf("t%d_%d", p, s), TransNormal)
+			n.AddArc(ps[s], t, 1)
+			n.AddArcTP(t, ps[(s+1)%stages], 1)
+		}
+	}
+	return n
+}
+
+// snapshotReach flattens a ReachResult for exact comparison.
+func snapshotReach(r *ReachResult) (markings []Marking, edges [][]ReachEdge, clipped []bool, truncated bool) {
+	for _, m := range r.Store.All() {
+		markings = append(markings, m.Clone())
+	}
+	return markings, r.Edges, r.Clipped, r.Truncated
+}
+
+func assertSameReach(t *testing.T, name string, a, b *ReachResult) {
+	t.Helper()
+	am, ae, ac, at := snapshotReach(a)
+	bm, be, bc, bt := snapshotReach(b)
+	if !reflect.DeepEqual(am, bm) {
+		t.Fatalf("%s: marking numbering differs (%d vs %d states)", name, len(am), len(bm))
+	}
+	if !reflect.DeepEqual(ae, be) {
+		t.Fatalf("%s: edges differ", name)
+	}
+	if !reflect.DeepEqual(ac, bc) || at != bt {
+		t.Fatalf("%s: clip flags differ (truncated %v vs %v)", name, at, bt)
+	}
+}
+
+// TestExploreWorkersDeterminism: the parallel frontier must produce a
+// ReachResult byte-identical to the serial loop — same state numbering,
+// same edges, same clip flags — for every worker count, on full
+// explorations, budget-clipped ones and token-capped ones. Runs under
+// -race via the Makefile.
+func TestExploreWorkersDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *Net
+		opt  ExploreOptions
+	}{
+		{"rings-full", ringsNet(3, 4), ExploreOptions{MaxMarkings: 1000}},
+		{"rings-budget", ringsNet(3, 5), ExploreOptions{MaxMarkings: 60}},
+		{"simple-capped", simpleNet(t), ExploreOptions{FireSources: true, MaxTokensPerPlace: 4}},
+		{"choice", choiceNet(t), ExploreOptions{FireSources: true, MaxTokensPerPlace: 3}},
+	}
+	for _, c := range cases {
+		serial := c.net.Explore(c.opt)
+		for _, w := range []int{1, 4, 8} {
+			opt := c.opt
+			opt.Workers = w
+			assertSameReach(t, fmt.Sprintf("%s/workers=%d", c.name, w), serial, c.net.Explore(opt))
+		}
+		// The full-scan ablation must agree too.
+		opt := c.opt
+		opt.DisableTracker = true
+		assertSameReach(t, c.name+"/full-scan", serial, c.net.Explore(opt))
+	}
+}
+
+// TestExploreWorkersRandomNets sweeps seeded random nets (including
+// source-driven infinite spaces under caps) across worker counts.
+func TestExploreWorkersRandomNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 120; i++ {
+		n := randomNet(rng)
+		opt := ExploreOptions{
+			FireSources:       i%2 == 0,
+			MaxTokensPerPlace: 3 + i%3,
+			MaxMarkings:       200 + i%57,
+		}
+		serial := n.Explore(opt)
+		for _, w := range []int{2, 5} {
+			po := opt
+			po.Workers = w
+			assertSameReach(t, fmt.Sprintf("random-%d/workers=%d", i, w), serial, n.Explore(po))
+		}
+		fo := opt
+		fo.DisableTracker = true
+		assertSameReach(t, fmt.Sprintf("random-%d/full-scan", i), serial, n.Explore(fo))
+	}
+}

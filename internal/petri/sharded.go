@@ -1,0 +1,147 @@
+package petri
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// ShardedStore is a striped MarkingStore safe for concurrent interning:
+// markings are routed to one of a power-of-two number of shards by the
+// top bits of their FNV-1a hash (each shard's open-addressed table is
+// probed by the low bits, so the two selections are independent), and
+// each shard is an ordinary MarkingStore behind its own mutex.
+//
+// A ShardRef (shard, local id) is stable for the store's lifetime, like
+// a MarkID is for a plain store, but refs are not dense across shards —
+// pipelines that need dense global numbering (the level-synchronous
+// explorers) use the sharded store for concurrent dedup and compact
+// refs into globally-ordered MarkIDs themselves.
+//
+// The batched exploration pipeline bypasses the mutexes entirely: each
+// shard is owned by exactly one goroutine per phase, which calls
+// InternShard directly. The locked Intern/Lookup entry points serve
+// callers without such a partitioning.
+type ShardedStore struct {
+	places int
+	shift  uint // shard = hash >> shift
+	shards []storeShard
+}
+
+type storeShard struct {
+	mu sync.Mutex
+	st *MarkingStore
+	// Pad to a cache line so concurrent interning on neighbouring
+	// shards does not false-share the mutexes.
+	_ [64 - 16]byte
+}
+
+// ShardRef identifies an interned marking within a ShardedStore.
+type ShardRef struct {
+	Shard uint32
+	Local MarkID
+}
+
+// NoShardRef is the sentinel for "no marking".
+var NoShardRef = ShardRef{Shard: ^uint32(0), Local: NoMark}
+
+// NewShardedStore returns an empty sharded store for markings over the
+// given number of places. shards is rounded up to a power of two (and
+// to at least 2).
+func NewShardedStore(places, shards int) *ShardedStore {
+	return newShardedStoreCap(places, shards, 1<<8)
+}
+
+// newShardedStoreCap builds a sharded store with an explicit per-shard
+// initial table size. Tests use tiny tables to force probe collisions
+// inside a shard on top of shard collisions.
+func newShardedStoreCap(places, shards, tableSize int) *ShardedStore {
+	if shards < 2 {
+		shards = 2
+	}
+	if shards&(shards-1) != 0 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	s := &ShardedStore{
+		places: places,
+		shift:  uint(64 - bits.TrailingZeros(uint(shards))),
+		shards: make([]storeShard, shards),
+	}
+	for i := range s.shards {
+		s.shards[i].st = newMarkingStoreCap(places, tableSize)
+	}
+	return s
+}
+
+// NumShards returns the shard count (a power of two).
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// Places returns the token-vector length the store was built for.
+func (s *ShardedStore) Places() int { return s.places }
+
+// ShardOf returns the shard a marking with HashMarking value h lands in.
+func (s *ShardedStore) ShardOf(h uint64) uint32 { return uint32(h >> s.shift) }
+
+// Intern returns the ShardRef of m, interning a copy if absent. Safe
+// for concurrent use: only m's shard is locked.
+func (s *ShardedStore) Intern(m Marking) (ShardRef, bool) {
+	h := HashMarking(m)
+	sd := &s.shards[s.ShardOf(h)]
+	sd.mu.Lock()
+	local, isNew := sd.st.InternHashed(m, h)
+	sd.mu.Unlock()
+	return ShardRef{Shard: s.ShardOf(h), Local: local}, isNew
+}
+
+// InternShard interns m (with precomputed hash h, which must route to
+// shard) WITHOUT locking: the caller must be the shard's sole user, as
+// the frontier pipeline's per-shard dedup phase is.
+func (s *ShardedStore) InternShard(shard uint32, m Marking, h uint64) (MarkID, bool) {
+	return s.shards[shard].st.InternHashed(m, h)
+}
+
+// Lookup returns the ShardRef of m if it is interned. Safe for
+// concurrent use with Intern.
+func (s *ShardedStore) Lookup(m Marking) (ShardRef, bool) {
+	h := HashMarking(m)
+	sd := &s.shards[s.ShardOf(h)]
+	sd.mu.Lock()
+	local, ok := sd.st.LookupHashed(m, h)
+	sd.mu.Unlock()
+	if !ok {
+		return NoShardRef, false
+	}
+	return ShardRef{Shard: s.ShardOf(h), Local: local}, true
+}
+
+// At returns the interned marking behind ref as a read-only view. Views
+// stay valid across later interning (see MarkingStore.At). At does not
+// lock: it is safe concurrently with interning on OTHER shards, or on
+// any shard once interning has stopped.
+func (s *ShardedStore) At(ref ShardRef) Marking {
+	return s.shards[ref.Shard].st.At(ref.Local)
+}
+
+// ShardLen returns the number of markings interned in one shard
+// (unlocked; see At for when that is safe).
+func (s *ShardedStore) ShardLen(shard uint32) int { return s.shards[shard].st.Len() }
+
+// Len returns the total number of distinct markings interned, locking
+// each shard in turn.
+func (s *ShardedStore) Len() int {
+	total := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		total += s.shards[i].st.Len()
+		s.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// MemBytes estimates the store's footprint across shards.
+func (s *ShardedStore) MemBytes() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].st.MemBytes()
+	}
+	return total
+}

@@ -1,0 +1,133 @@
+package petri
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedStoreRoundTrip: intern, re-intern and lookup across many
+// shards; refs stay stable and At returns the exact vectors.
+func TestShardedStoreRoundTrip(t *testing.T) {
+	const places = 6
+	s := NewShardedStore(places, 8)
+	if s.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", s.NumShards())
+	}
+	var ms []Marking
+	refs := map[string]ShardRef{}
+	for i := 0; i < 500; i++ {
+		m := Marking{i, i % 3, i % 7, i / 5, i % 2, i % 11}
+		ref, isNew := s.Intern(m)
+		if prev, ok := refs[m.Key()]; ok {
+			if isNew || ref != prev {
+				t.Fatalf("re-intern %v: (%v, %v), want (%v, false)", m, ref, isNew, prev)
+			}
+			continue
+		}
+		if !isNew {
+			t.Fatalf("fresh marking %v not reported new", m)
+		}
+		refs[m.Key()] = ref
+		ms = append(ms, m.Clone())
+	}
+	if s.Len() != len(refs) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(refs))
+	}
+	for _, m := range ms {
+		ref, ok := s.Lookup(m)
+		if !ok || ref != refs[m.Key()] {
+			t.Fatalf("lookup %v = (%v, %v), want (%v, true)", m, ref, ok, refs[m.Key()])
+		}
+		if !s.At(ref).Equal(m) {
+			t.Fatalf("At(%v) = %v, want %v", ref, s.At(ref), m)
+		}
+	}
+	if _, ok := s.Lookup(Marking{99, 99, 99, 99, 99, 99}); ok {
+		t.Fatal("lookup of never-interned marking succeeded")
+	}
+}
+
+// TestShardedStoreForcedCollisions mirrors the plain store's
+// probe-collision test at both levels: 2 shards force markings to share
+// shards, and 2-slot per-shard tables force linear probing and growth
+// inside every shard.
+func TestShardedStoreForcedCollisions(t *testing.T) {
+	const places = 3
+	s := newShardedStoreCap(places, 2, 2)
+	var ms []Marking
+	var refs []ShardRef
+	for i := 0; i < 128; i++ {
+		m := Marking{i, i % 5, i / 3}
+		ref, isNew := s.Intern(m)
+		if !isNew {
+			t.Fatalf("intern %v not new", m)
+		}
+		ms = append(ms, m)
+		refs = append(refs, ref)
+	}
+	perShard := map[uint32]int{}
+	for i, m := range ms {
+		if ref, isNew := s.Intern(m); isNew || ref != refs[i] {
+			t.Fatalf("re-intern %v = (%v, %v), want (%v, false)", m, ref, isNew, refs[i])
+		}
+		if ref, ok := s.Lookup(m); !ok || ref != refs[i] {
+			t.Fatalf("lookup %v = (%v, %v), want (%v, true)", m, ref, ok, refs[i])
+		}
+		if !s.At(refs[i]).Equal(m) {
+			t.Fatalf("At(%v) = %v, want %v", refs[i], s.At(refs[i]), m)
+		}
+		perShard[refs[i].Shard]++
+	}
+	// With 128 markings over 2 shards both must have been exercised.
+	if len(perShard) != 2 {
+		t.Fatalf("expected both shards populated, got %v", perShard)
+	}
+	if s.Len() != len(ms) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ms))
+	}
+}
+
+// TestShardedStoreConcurrentIntern: many goroutines interning
+// overlapping marking sets must agree on one ref per distinct marking
+// and never lose one. Run under -race (the Makefile does).
+func TestShardedStoreConcurrentIntern(t *testing.T) {
+	const places = 4
+	const distinct = 300
+	mk := func(i int) Marking { return Marking{i, i % 7, i % 13, i / 4} }
+	s := NewShardedStore(places, 16)
+	var wg sync.WaitGroup
+	refs := make([][]ShardRef, 8)
+	// Strides coprime to distinct, so each goroutine covers the whole
+	// set in a different order and interleavings collide on markings.
+	strides := []int{7, 11, 13, 17, 19, 23, 29, 31}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		refs[w] = make([]ShardRef, distinct)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < distinct; r++ {
+				i := (r*strides[w] + w) % distinct
+				ref, _ := s.Intern(mk(i))
+				refs[w][i] = ref
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != distinct {
+		t.Fatalf("Len = %d, want %d", s.Len(), distinct)
+	}
+	for i := 0; i < distinct; i++ {
+		want, ok := s.Lookup(mk(i))
+		if !ok {
+			t.Fatalf("marking %d lost", i)
+		}
+		if !s.At(want).Equal(mk(i)) {
+			t.Fatalf("At mismatch for %d", i)
+		}
+		for w := 0; w < 8; w++ {
+			if refs[w][i] != want {
+				t.Fatalf("goroutine %d saw ref %v for marking %d, lookup says %v", w, refs[w][i], i, want)
+			}
+		}
+	}
+}

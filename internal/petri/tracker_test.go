@@ -1,0 +1,173 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomNet builds a seeded random net: a mix of internal and channel
+// places, transitions of all kinds, duplicate arc additions (weight
+// accumulation) and self loops — the shapes the tracker's changed-place
+// analysis must survive.
+func randomNet(rng *rand.Rand) *Net {
+	n := New("rand")
+	nPlaces := rng.Intn(8) + 2
+	for i := 0; i < nPlaces; i++ {
+		kind := PlaceInternal
+		if rng.Intn(2) == 0 {
+			kind = PlaceChannel
+		}
+		n.AddPlace("", kind, rng.Intn(3))
+	}
+	nTrans := rng.Intn(10) + 2
+	for i := 0; i < nTrans; i++ {
+		kind := TransNormal
+		switch rng.Intn(6) {
+		case 0:
+			kind = TransSourceUnc
+		case 1:
+			kind = TransSink
+		}
+		t := n.AddTransition("", kind)
+		if kind != TransSourceUnc {
+			for a := rng.Intn(3) + 1; a > 0; a-- {
+				n.AddArc(n.Places[rng.Intn(nPlaces)], t, rng.Intn(2)+1)
+			}
+			if rng.Intn(4) == 0 {
+				n.AddSelfLoop(n.Places[rng.Intn(nPlaces)], t, 1)
+			}
+		}
+		for a := rng.Intn(3); a > 0; a-- {
+			n.AddArcTP(t, n.Places[rng.Intn(nPlaces)], rng.Intn(2)+1)
+		}
+	}
+	return n
+}
+
+// bitsOf collects the set ECS indexes of a bitset.
+func bitsOf(set []uint64, num int) []int {
+	var out []int
+	for i := 0; i < num; i++ {
+		if HasBit(set, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// enabledIdx is the brute-force reference: full-partition scan.
+func enabledIdx(n *Net, part []*ECS, m Marking) []int {
+	var out []int
+	for _, e := range part {
+		if e.Enabled(n, m) {
+			out = append(out, e.Index)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEnabledTrackerRandomWalks: along random firing walks of random
+// nets, the incrementally maintained enabled set must equal the full
+// partition scan at every step.
+func TestEnabledTrackerRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := randomNet(rng)
+		part := n.ECSPartition()
+		tr := NewEnabledTracker(n, part)
+		if tr.NumECS() != len(part) {
+			t.Fatalf("trial %d: NumECS %d != partition %d", trial, tr.NumECS(), len(part))
+		}
+		m := n.InitialMarking()
+		cur := make([]uint64, tr.Stride())
+		next := make([]uint64, tr.Stride())
+		tr.Init(cur, m)
+		if got, want := bitsOf(cur, len(part)), enabledIdx(n, part, m); !equalInts(got, want) {
+			t.Fatalf("trial %d: Init %v, want %v", trial, got, want)
+		}
+		for step := 0; step < 60; step++ {
+			// Fire a random enabled transition, capping token counts so
+			// source-driven nets stay small.
+			var enabled []int
+			for _, tt := range n.Transitions {
+				if m.Enabled(tt) {
+					enabled = append(enabled, tt.ID)
+				}
+			}
+			if len(enabled) == 0 {
+				break
+			}
+			tid := enabled[rng.Intn(len(enabled))]
+			fired := m.Fire(n.Transitions[tid])
+			over := false
+			for _, v := range fired {
+				if v > 12 {
+					over = true
+				}
+			}
+			if over {
+				break
+			}
+			m = fired
+			tr.Update(next, cur, tid, m)
+			if got, want := bitsOf(next, len(part)), enabledIdx(n, part, m); !equalInts(got, want) {
+				t.Fatalf("trial %d step %d after t%d: tracker %v, want %v (touched %v)",
+					trial, step, tid, got, want, tr.Touched(tid))
+			}
+			cur, next = next, cur
+		}
+		// ECSOf covers the whole partition.
+		for _, e := range part {
+			for _, tid := range e.Trans {
+				if tr.ECSOf(tid) != e.Index {
+					t.Fatalf("trial %d: ECSOf(%d) = %d, want %d", trial, tid, tr.ECSOf(tid), e.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestEnabledTrackerSelfLoopUntouched: a pure self loop changes no
+// token count, so firing it must touch no ECS keyed on that place.
+func TestEnabledTrackerSelfLoopUntouched(t *testing.T) {
+	n := New("selfloop")
+	p := n.AddPlace("p", PlaceChannel, 1)
+	q := n.AddPlace("q", PlaceChannel, 1)
+	tl := n.AddTransition("loop", TransNormal)
+	n.AddSelfLoop(p, tl, 1)
+	n.AddArc(q, tl, 1)
+	n.AddArcTP(tl, q, 2)
+	reader := n.AddTransition("reader", TransNormal)
+	n.AddArc(p, reader, 1)
+	part := n.ECSPartition()
+	tr := NewEnabledTracker(n, part)
+	readerECS := tr.ECSOf(reader.ID)
+	for _, e := range tr.Touched(tl.ID) {
+		if int(e) == readerECS {
+			t.Fatalf("self-loop firing should not touch the reader's ECS (touched %v)", tr.Touched(tl.ID))
+		}
+	}
+	// q's count changes (consume 1, produce 2): the loop's own ECS is
+	// keyed on q and must be touched.
+	found := false
+	for _, e := range tr.Touched(tl.ID) {
+		if int(e) == tr.ECSOf(tl.ID) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("q-delta should touch the loop ECS (touched %v)", tr.Touched(tl.ID))
+	}
+}

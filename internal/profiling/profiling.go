@@ -1,0 +1,59 @@
+// Package profiling is the shared -cpuprofile/-memprofile plumbing of
+// the command-line tools: one Start call wires both profiles, and the
+// returned stop function flushes them and surfaces write errors so
+// callers can fold them into the process exit code.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and schedules a heap profile
+// to memPath; either may be empty to skip that profile. The returned
+// stop function (never nil) stops the CPU profile, forces a GC and
+// writes the heap profile, returning the first error encountered —
+// callers should run it before exiting and treat its error as a
+// failure, or the profile files may be silently empty or missing.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/petri"
 )
@@ -32,6 +33,13 @@ type Options struct {
 	// (default 2000000; hash-consed states are compact enough that the
 	// budget is search time, not memory).
 	MaxNodes int
+	// ExploreWorkers >= 2 lets the graph engine explore each BFS level
+	// of the marking graph on that many goroutines (the frontier level
+	// of the two-level parallelism model; core.Options.Workers is the
+	// source level). Exploration order, state numbering and the
+	// resulting schedule are byte-identical for every value. 0 or 1
+	// keeps the exploration serial; tree engines ignore it.
+	ExploreWorkers int
 	// Engine selects the search engine (default EngineGraph).
 	Engine Engine
 	// NoFallback disables the automatic exhaustive-tree retry after a
@@ -117,6 +125,21 @@ type engine struct {
 	fired []int
 	// octx is the reusable ordering context handed to ECSOrder.Sort.
 	octx OrderContext
+
+	// Incremental enablement along the DFS path: bitsStack holds one
+	// enabled-ECS bitset (stride words) per node on the path, pushed by
+	// ep from the parent's set via the tracker, so enabledECS reads the
+	// top of the stack instead of scanning the partition. allowedMask
+	// filters out uncontrollable sources other than the schedule's own
+	// (single-source mode). ecsStack is a stack arena for the enabled
+	// slices handed to the ordering heuristic — frames are pushed by
+	// epExpand and popped on return, so expansion allocates no per-node
+	// slice.
+	tracker     *petri.EnabledTracker
+	stride      int
+	allowedMask []uint64
+	bitsStack   []uint64
+	ecsStack    []*petri.ECS
 }
 
 // FindSchedule computes a single-source schedule for the given
@@ -141,14 +164,25 @@ func FindSchedule(n *petri.Net, source int, opt *Options) (*Schedule, error) {
 		store:  petri.NewMarkingStore(len(n.Places)),
 		fired:  make([]int, len(n.Transitions)),
 	}
+	e.tracker = petri.NewEnabledTracker(n, e.part)
+	e.stride = e.tracker.Stride()
+	e.allowedMask = make([]uint64, e.stride)
+	for _, E := range e.part {
+		if e.opt.MultiSource || !E.IsUncontrollable(n) || E.Trans[0] == source {
+			e.allowedMask[E.Index>>6] |= 1 << (uint(E.Index) & 63)
+		}
+	}
 	if _, ok := e.opt.Order.(*TInvariantOrder); ok {
 		e.stats.UsedTInv = true
 	}
 	root := e.newNode(nil, -1, n.InitialMarking())
 	child := e.newNode(root, source, root.marking.Fire(st))
 	// The root is on the path of every node below it: account for its
-	// marking and the source firing before descending into EP.
+	// marking, enabled set and the source firing before descending into
+	// EP (ep derives the child's set from the stack top, so the root's
+	// full-scan seed must already be there).
 	e.ancStack = append(e.ancStack, root.marking)
+	e.pushBits(root)
 	e.fired[source]++
 	root.chosenECS = e.ecsOf(source)
 	root.kids = map[int][]*treeNode{root.chosenECS.Index: {child}}
@@ -230,14 +264,35 @@ func isAncEq(u, x *treeNode) bool {
 	return false
 }
 
+// pushBits computes the enabled-ECS set of node v — from its parent's
+// set (the current stack top) via the tracker, or by a full scan at the
+// root — and pushes it onto the bits stack.
+func (e *engine) pushBits(v *treeNode) {
+	base := len(e.bitsStack)
+	for i := 0; i < e.stride; i++ {
+		e.bitsStack = append(e.bitsStack, 0)
+	}
+	slot := e.bitsStack[base : base+e.stride]
+	if v.parent == nil {
+		e.tracker.Init(slot, v.marking)
+		return
+	}
+	e.tracker.Update(slot, e.bitsStack[base-e.stride:base], v.inTrans, v.marking)
+}
+
+func (e *engine) popBits() {
+	e.bitsStack = e.bitsStack[:len(e.bitsStack)-e.stride]
+}
+
 // ep implements function EP(v, target) of Figure 9(a): find an entering
 // point of v that is an ancestor of target if one exists, else the
 // minimum entering point found, else nil (UNDEF).
 //
 // Invariant: on entry, e.ancStack holds the markings of v's proper
-// ancestors (root first) and e.fired the per-transition fire counts of
-// the path from the root to v inclusive; both are maintained push/pop
-// around the recursion instead of being rebuilt per node.
+// ancestors (root first), e.bitsStack their enabled sets (so the top is
+// v's parent's set), and e.fired the per-transition fire counts of the
+// path from the root to v inclusive; all are maintained push/pop around
+// the recursion instead of being rebuilt per node.
 func (e *engine) ep(v, target *treeNode) *treeNode {
 	if e.over {
 		return nil
@@ -255,15 +310,20 @@ func (e *engine) ep(v, target *treeNode) *treeNode {
 		}
 	}
 	e.ancStack = append(e.ancStack, v.marking)
+	e.pushBits(v)
 	best := e.epExpand(v, target)
+	e.popBits()
 	e.ancStack = e.ancStack[:len(e.ancStack)-1]
 	return best
 }
 
 // epExpand explores the enabled ECSs of v; e.ancStack already includes
-// v's marking (the path root..v inclusive).
-func (e *engine) epExpand(v, target *treeNode) *treeNode {
-	enabled := e.enabledECS(v.marking)
+// v's marking and e.bitsStack its enabled set (the path root..v
+// inclusive).
+func (e *engine) epExpand(v, target *treeNode) (best *treeNode) {
+	base := len(e.ecsStack)
+	defer func() { e.ecsStack = e.ecsStack[:base] }()
+	enabled := e.enabledECS()
 	e.octx.Net = e.net
 	e.octx.Marking = v.marking
 	e.octx.Fired = e.fired
@@ -272,25 +332,16 @@ func (e *engine) epExpand(v, target *treeNode) *treeNode {
 	enabled = e.opt.Order.Sort(&e.octx, enabled)
 	// Environment sources are a second-class pass: "fire a source
 	// transition only when the system cannot fire anything else"
-	// (Section 4.4). In greedy mode this is a hard gate; in exhaustive
-	// mode sources are merely ordered last by the heuristic.
-	var passes [][]*petri.ECS
-	if e.opt.Engine == EngineTreeExhaustive {
-		passes = [][]*petri.ECS{enabled}
-	} else {
-		var nonSrc, src []*petri.ECS
+	// (Section 4.4). In greedy mode this is a hard gate, realized as
+	// two filtered passes over the sorted slice (no per-node split
+	// buffers); in exhaustive mode sources are merely ordered last by
+	// the heuristic and a single unfiltered pass suffices.
+	exhaustive := e.opt.Engine == EngineTreeExhaustive
+	for pass := 0; pass < 2; pass++ {
 		for _, E := range enabled {
-			if E.IsSourceECS(e.net) {
-				src = append(src, E)
-			} else {
-				nonSrc = append(nonSrc, E)
+			if !exhaustive && E.IsSourceECS(e.net) != (pass == 1) {
+				continue
 			}
-		}
-		passes = [][]*petri.ECS{nonSrc, src}
-	}
-	var best *treeNode
-	for _, pass := range passes {
-		for _, E := range pass {
 			got := e.epECS(E, v, target)
 			if e.over {
 				return nil
@@ -302,7 +353,7 @@ func (e *engine) epExpand(v, target *treeNode) *treeNode {
 				v.chosenECS = E
 				return got
 			}
-			if e.opt.Engine != EngineTreeExhaustive {
+			if !exhaustive {
 				// Greedy: the first valid entering point wins.
 				v.chosenECS = E
 				return got
@@ -312,7 +363,7 @@ func (e *engine) epExpand(v, target *treeNode) *treeNode {
 				best = got
 			}
 		}
-		if best != nil {
+		if exhaustive || best != nil {
 			break
 		}
 	}
@@ -357,19 +408,24 @@ func (e *engine) epECS(E *petri.ECS, v, target *treeNode) *treeNode {
 	return min
 }
 
-// enabledECS lists the ECSs enabled at m, excluding — in single-source
-// mode — uncontrollable sources other than the schedule's own.
-func (e *engine) enabledECS(m petri.Marking) []*petri.ECS {
-	var out []*petri.ECS
-	for _, E := range e.part {
-		if !e.opt.MultiSource && E.IsUncontrollable(e.net) && E.Trans[0] != e.source {
-			continue
-		}
-		if E.Enabled(e.net, m) {
-			out = append(out, E)
+// enabledECS lists the ECSs enabled at the node whose bitset is on top
+// of the bits stack, excluding — in single-source mode — uncontrollable
+// sources other than the schedule's own. The result is a frame of the
+// engine's stack arena (popped by epExpand), so listing allocates
+// nothing beyond amortized arena growth; the caller must not retain it
+// past the expansion.
+func (e *engine) enabledECS() []*petri.ECS {
+	base := len(e.ecsStack)
+	top := e.bitsStack[len(e.bitsStack)-e.stride:]
+	for w := 0; w < e.stride; w++ {
+		x := top[w] & e.allowedMask[w]
+		for x != 0 {
+			b := mathbits.TrailingZeros64(x)
+			x &= x - 1
+			e.ecsStack = append(e.ecsStack, e.part[w*64+b])
 		}
 	}
-	return out
+	return e.ecsStack[base:len(e.ecsStack):len(e.ecsStack)]
 }
 
 // buildSchedule performs the post-processing of Section 5.2: retain only

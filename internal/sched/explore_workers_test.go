@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/petri"
+)
+
+// renderSchedule flattens a schedule to a canonical byte form: node
+// order, markings, chosen ECSs and edge targets all included, so two
+// renders are equal iff the schedules are structurally identical.
+func renderSchedule(t *testing.T, s *Schedule) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Format(&buf); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&buf, "node %d marking %v", n.ID, []int(n.Marking))
+		if n.ECS != nil {
+			fmt.Fprintf(&buf, " ecs %d %v", n.ECS.Index, n.ECS.Trans)
+		}
+		for _, e := range n.Edges {
+			fmt.Fprintf(&buf, " [%d->%d]", e.Trans, e.To.ID)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestGraphEngineExploreWorkersDeterminism: the parallel frontier of
+// the graph engine must produce byte-identical schedules and search
+// statistics for every ExploreWorkers value, on every paper net and on
+// state spaces large enough to span many BFS levels. Runs under -race
+// via the Makefile.
+func TestGraphEngineExploreWorkersDeterminism(t *testing.T) {
+	nets := []struct {
+		name string
+		net  *petri.Net
+	}{
+		{"fig4a", fig4aNet(t)},
+		{"fig5", fig5Net(t)},
+		{"fig6", fig6Net(t)},
+		{"fig8", fig8Net(t)},
+		{"divider-k6", dividerNet(6)},
+		{"divider-k12", dividerNet(12)},
+	}
+	for _, tc := range nets {
+		tc.net.Warm()
+		serial, err := FindSchedule(tc.net, 0, &Options{Engine: EngineGraph})
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		want := renderSchedule(t, serial)
+		for _, w := range []int{1, 4, 8} {
+			s, err := FindSchedule(tc.net, 0, &Options{Engine: EngineGraph, ExploreWorkers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, w, err)
+			}
+			if got := renderSchedule(t, s); !bytes.Equal(got, want) {
+				t.Fatalf("%s workers=%d: schedule differs from serial\nserial:\n%s\nparallel:\n%s",
+					tc.name, w, want, got)
+			}
+			if s.Stats.NodesCreated != serial.Stats.NodesCreated ||
+				s.Stats.DistinctMarkings != serial.Stats.DistinctMarkings {
+				t.Fatalf("%s workers=%d: stats differ: %+v vs %+v", tc.name, w, s.Stats, serial.Stats)
+			}
+		}
+	}
+}
+
+// TestGraphEngineExploreWorkersBudget: the parallel path must respect
+// MaxNodes like the serial one — an over-budget exploration fails with
+// ErrBudget rather than returning a partial schedule.
+func TestGraphEngineExploreWorkersBudget(t *testing.T) {
+	n := dividerNet(8)
+	for _, w := range []int{1, 4} {
+		_, err := FindSchedule(n, 0, &Options{Engine: EngineGraph, ExploreWorkers: w, MaxNodes: 10})
+		if err == nil {
+			t.Fatalf("workers=%d: tiny budget should fail", w)
+		}
+	}
+}
+
+// TestTreeEngineAllocsPerNode pins the allocation behaviour of the EP
+// tree engines the way the graph search is pinned: expansion must not
+// allocate per (node, ECS) pair. Each created node inherently costs a
+// handful of allocations (the treeNode, its kids map entries, the
+// ordering heuristic's scratch); what this test rules out is the old
+// per-node enabled-slice + pass-split behaviour growing with the
+// partition size on top of that.
+func TestTreeEngineAllocsPerNode(t *testing.T) {
+	n := dividerNet(6)
+	n.Warm()
+	for _, eng := range []struct {
+		name string
+		e    Engine
+	}{
+		{"greedy", EngineTreeGreedy},
+		{"exhaustive", EngineTreeExhaustive},
+	} {
+		opt := &Options{Engine: eng.e, NoFallback: true}
+		s, err := FindSchedule(n, 0, opt)
+		if err != nil {
+			t.Fatalf("%s warmup: %v", eng.name, err)
+		}
+		nodes := s.Stats.NodesCreated
+		if nodes < 50 {
+			t.Fatalf("%s: only %d nodes; net too small to be meaningful", eng.name, nodes)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := FindSchedule(n, 0, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		perNode := allocs / float64(nodes)
+		// With the T-invariant heuristic active, each expanded node pays
+		// for its treeNode, kids map and the heuristic's promising-vector
+		// math; 40 per node is far below the old additional
+		// O(|partition|) slice churn yet leaves headroom for map resizes.
+		if perNode > 40 {
+			t.Fatalf("%s: %.0f allocs for %d nodes (%.1f/node) — expansion is allocating per (node, ECS)",
+				eng.name, allocs, nodes, perNode)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"sort"
 
 	"repro/internal/compile"
@@ -32,6 +33,13 @@ import (
 //     transitions over awaits, honor SELECT priorities, then walk down
 //     the distance-to-root ranking) and emits the induced sub-graph as
 //     the schedule.
+//
+// Step 1 finds each state's enabled ECSs incrementally (a bitset
+// derived from the parent state's via petri.EnabledTracker, not a
+// partition scan) and, under Options.ExploreWorkers >= 2, fans each
+// BFS level out over the petri.RunFrontier pipeline; the frontier's
+// deterministic merge writes the engine arenas in exactly the serial
+// order, so schedules are byte-identical for every worker count.
 
 // CapProvider is implemented by termination conditions that can bound
 // the token count of each place for the graph engine.
@@ -123,6 +131,22 @@ type graphEngine struct {
 	scratch petri.Marking // firing buffer reused across the whole search
 	over    bool
 
+	// Incremental enablement (petri.EnabledTracker): bits is a flat
+	// arena of per-state enabled-ECS bitsets (stride words per state),
+	// each computed from its parent's set when the state is interned,
+	// so expanding a state iterates its enabled ECSs directly instead
+	// of re-testing the whole partition. allowedMask filters the sets
+	// down to the ECSs this schedule may fire (uncontrollable sources
+	// other than the schedule's own are excluded in single-source
+	// mode); occDelta is the per-transition channel/port occupancy
+	// delta, making the per-state occ field an O(1) increment.
+	tracker     *petri.EnabledTracker
+	stride      int
+	allowedMask []uint64
+	bits        []uint64
+	pScratch    []uint64 // stable copy of the expanding state's bitset
+	occDelta    []int32
+
 	// Flat adjacency. Entry k of ecsArena is one (state, allowed enabled
 	// ECS) pair; its successor states occupy
 	// succArena[succOff[k] : succOff[k]+len(ecsArena[k].Trans)], with -1
@@ -162,7 +186,7 @@ func (ge *graphEngine) ecsAt(s *gstate, i int) *petri.ECS {
 	return ge.ecsArena[int(s.ecsStart)+i]
 }
 
-func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error) {
+func newGraphEngine(n *petri.Net, source int, opt Options) *graphEngine {
 	ge := &graphEngine{
 		net:    n,
 		source: source,
@@ -175,10 +199,45 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 	} else {
 		ge.caps = NewIrrelevance(n).Caps(n)
 	}
+	ge.tracker = petri.NewEnabledTracker(n, ge.part)
+	ge.stride = ge.tracker.Stride()
+	ge.allowedMask = make([]uint64, ge.stride)
+	for _, E := range ge.part {
+		if ge.allowed(E) {
+			ge.allowedMask[E.Index>>6] |= 1 << (uint(E.Index) & 63)
+		}
+	}
+	ge.pScratch = make([]uint64, ge.stride)
+	ge.occDelta = make([]int32, len(n.Transitions))
+	for _, t := range n.Transitions {
+		d := 0
+		for _, a := range t.Out {
+			switch n.Places[a.Place].Kind {
+			case petri.PlaceChannel, petri.PlacePort:
+				d += a.Weight
+			}
+		}
+		for _, a := range t.In {
+			switch n.Places[a.Place].Kind {
+			case petri.PlaceChannel, petri.PlacePort:
+				d -= a.Weight
+			}
+		}
+		ge.occDelta[t.ID] = int32(d)
+	}
+	return ge
+}
+
+func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error) {
+	ge := newGraphEngine(n, source, opt)
 	st := n.Transitions[source]
 	m0 := n.InitialMarking()
-	rootID := ge.intern(m0)
-	ge.explore()
+	rootID := ge.internRoot(m0)
+	if opt.ExploreWorkers > 1 {
+		ge.exploreParallel(opt.ExploreWorkers)
+	} else {
+		ge.explore()
+	}
 	if ge.over {
 		return nil, fmt.Errorf("sched: source %s: %w (graph engine, %d states)", st.Name, ErrBudget, len(ge.states))
 	}
@@ -193,10 +252,24 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 	return s, nil
 }
 
-// intern hash-conses m. An already-seen marking costs one hash and one
-// probe, no allocation; a new one is copied once into the store's arena
-// and gains a parallel gstate slot.
-func (ge *graphEngine) intern(m petri.Marking) int {
+// internRoot hash-conses the initial marking, seeding its enabled set
+// with a full partition scan — the only full scan of the search.
+func (ge *graphEngine) internRoot(m petri.Marking) int {
+	id, _ := ge.store.Intern(m)
+	ge.states = append(ge.states, gstate{rank: -1, occ: int32(ge.occupancy(m))})
+	base := len(ge.bits)
+	for i := 0; i < ge.stride; i++ {
+		ge.bits = append(ge.bits, 0)
+	}
+	ge.tracker.Init(ge.bits[base:base+ge.stride], m)
+	return int(id)
+}
+
+// intern hash-conses m, fired from state parent via transition trans.
+// An already-seen marking costs one hash and one probe, no allocation;
+// a new one is copied once into the store's arena and gains a parallel
+// gstate slot plus an incrementally-derived enabled set.
+func (ge *graphEngine) intern(m petri.Marking, parent, trans int) int {
 	id, isNew := ge.store.Intern(m)
 	if !isNew {
 		return int(id)
@@ -205,8 +278,21 @@ func (ge *graphEngine) intern(m petri.Marking) int {
 		ge.over = true
 		return -1
 	}
-	ge.states = append(ge.states, gstate{rank: -1, occ: int32(ge.occupancy(m))})
+	ge.admitState(parent, trans, m)
 	return int(id)
+}
+
+// admitState appends the gstate and enabled set of a freshly interned
+// marking m reached from parent by firing trans. Occupancy and the
+// enabled set are both deltas off the parent: O(1) plus the few ECSs
+// the firing touched, instead of a full marking/partition scan.
+func (ge *graphEngine) admitState(parent, trans int, m petri.Marking) {
+	ge.states = append(ge.states, gstate{rank: -1, occ: ge.states[parent].occ + ge.occDelta[trans]})
+	base := len(ge.bits)
+	for i := 0; i < ge.stride; i++ {
+		ge.bits = append(ge.bits, 0)
+	}
+	ge.tracker.Update(ge.bits[base:base+ge.stride], ge.bits[parent*ge.stride:(parent+1)*ge.stride], trans, m)
 }
 
 // marking returns the (read-only) token vector of state id.
@@ -231,40 +317,136 @@ func (ge *graphEngine) withinCaps(m petri.Marking) bool {
 	return true
 }
 
+// forEachAllowedEnabled iterates the allowed enabled ECSs of the given
+// bitset in partition order — shared by the serial loop and both
+// phases of the parallel frontier so their arena layouts are identical
+// by construction.
+func (ge *graphEngine) forEachAllowedEnabled(set []uint64, fn func(E *petri.ECS)) {
+	for w := 0; w < ge.stride; w++ {
+		x := set[w] & ge.allowedMask[w]
+		for x != 0 {
+			b := mathbits.TrailingZeros64(x)
+			x &= x - 1
+			fn(ge.part[w*64+b])
+		}
+	}
+}
+
 // explore runs the bounded forward BFS. Firing a transition reuses the
-// engine's scratch buffer and interns through the store, and the
-// adjacency goes into flat arenas, so the per-fired-transition cost is
-// hash + probe with no allocation (arena growth amortizes).
+// engine's scratch buffer and interns through the store, the enabled
+// ECSs of each state come from its incrementally-maintained bitset
+// (no full partition scan), and the adjacency goes into flat arenas,
+// so the per-fired-transition cost is hash + probe with no allocation
+// (arena growth amortizes).
 func (ge *graphEngine) explore() {
 	for qi := 0; qi < len(ge.states) && !ge.over; qi++ {
-		// ge.states may be appended to (and moved) by intern below, so
+		// ge.states and ge.bits may be appended to (and moved) by intern
+		// below, so iterate a stable copy of this state's bitset and
 		// take the element pointer only when writing; the marking view
-		// stays valid across store growth.
+		// stays valid across store growth. The bit iteration is inlined
+		// (not via forEachAllowedEnabled) to keep this loop free of
+		// per-state closure allocations.
 		m := ge.marking(qi)
+		copy(ge.pScratch, ge.bits[qi*ge.stride:(qi+1)*ge.stride])
 		start := len(ge.ecsArena)
-		for _, E := range ge.part {
-			if !ge.allowed(E) || !E.Enabled(ge.net, m) {
-				continue
-			}
-			off := len(ge.succArena)
-			for _, tid := range E.Trans {
-				ge.scratch = m.FireInto(ge.scratch, ge.net.Transitions[tid])
-				if !ge.withinCaps(ge.scratch) {
-					ge.succArena = append(ge.succArena, -1)
-					continue
+		for w := 0; w < ge.stride; w++ {
+			x := ge.pScratch[w] & ge.allowedMask[w]
+			for x != 0 {
+				b := mathbits.TrailingZeros64(x)
+				x &= x - 1
+				E := ge.part[w*64+b]
+				off := len(ge.succArena)
+				for _, tid := range E.Trans {
+					ge.scratch = m.FireInto(ge.scratch, ge.net.Transitions[tid])
+					if !ge.withinCaps(ge.scratch) {
+						ge.succArena = append(ge.succArena, -1)
+						continue
+					}
+					id := ge.intern(ge.scratch, qi, tid)
+					if ge.over {
+						return
+					}
+					ge.succArena = append(ge.succArena, int32(id))
 				}
-				id := ge.intern(ge.scratch)
-				if ge.over {
-					return
-				}
-				ge.succArena = append(ge.succArena, int32(id))
+				ge.ecsArena = append(ge.ecsArena, E)
+				ge.succOff = append(ge.succOff, int32(off))
 			}
-			ge.ecsArena = append(ge.ecsArena, E)
-			ge.succOff = append(ge.succOff, int32(off))
 		}
 		s := &ge.states[qi]
 		s.ecsStart, s.ecsEnd = int32(start), int32(len(ge.ecsArena))
 	}
+}
+
+// exploreParallel is explore() over petri.RunFrontier: each BFS level's
+// firing, hashing and deduplication fan out across workers while the
+// phase-C merge writes the arenas in exactly the serial order, so the
+// resulting engine state — and with it the schedule and generated code
+// — is byte-identical to the serial path for every worker count.
+func (ge *graphEngine) exploreParallel(workers int) {
+	scratch := make([]petri.Marking, workers)
+	cur := -1
+	var pend []int32 // allowed enabled ECS indexes of cur, in order
+	pi, mi := 0, 0   // pending-ECS and member cursors
+	finish := func() {
+		if cur >= 0 {
+			ge.states[cur].ecsEnd = int32(len(ge.ecsArena))
+		}
+	}
+	// advance records one successor slot of cur, opening the next ECS
+	// group lazily. The emit order of Expand walks the same bitset, so
+	// the cursors stay aligned by construction.
+	advance := func(child int32) {
+		E := ge.part[pend[pi]]
+		if mi == 0 {
+			ge.ecsArena = append(ge.ecsArena, E)
+			ge.succOff = append(ge.succOff, int32(len(ge.succArena)))
+		}
+		ge.succArena = append(ge.succArena, child)
+		if mi++; mi == len(E.Trans) {
+			pi++
+			mi = 0
+		}
+	}
+	petri.RunFrontier(ge.store, workers, petri.FrontierHooks{
+		Expand: func(worker int, id petri.MarkID, m petri.Marking, emit func(int32, petri.Marking)) {
+			ge.forEachAllowedEnabled(ge.bits[int(id)*ge.stride:(int(id)+1)*ge.stride], func(E *petri.ECS) {
+				for _, tid := range E.Trans {
+					scratch[worker] = m.FireInto(scratch[worker], ge.net.Transitions[tid])
+					if !ge.withinCaps(scratch[worker]) {
+						emit(int32(tid), nil)
+						continue
+					}
+					emit(int32(tid), scratch[worker])
+				}
+			})
+		},
+		BeginState: func(id petri.MarkID) {
+			finish()
+			cur = int(id)
+			ge.states[cur].ecsStart = int32(len(ge.ecsArena))
+			pend = pend[:0]
+			ge.forEachAllowedEnabled(ge.bits[cur*ge.stride:(cur+1)*ge.stride], func(E *petri.ECS) {
+				pend = append(pend, int32(E.Index))
+			})
+			pi, mi = 0, 0
+		},
+		Admit: func() bool { return ge.store.Len() < ge.opt.MaxNodes },
+		Edge: func(parent petri.MarkID, trans int32, child petri.MarkID, isNew bool) {
+			if isNew {
+				ge.admitState(int(parent), int(trans), ge.store.At(child))
+			}
+			advance(int32(child))
+		},
+		Reject: func(parent petri.MarkID, trans int32, budget bool) bool {
+			if budget {
+				ge.over = true
+				return false
+			}
+			advance(-1)
+			return true
+		},
+	})
+	finish()
 }
 
 // buildReverse assembles the CSR reverse adjacency over every explored
@@ -640,19 +822,8 @@ type GraphDiagnosis struct {
 // the failure structure. The sample lists are truncated to 16 entries.
 func Diagnose(n *petri.Net, source int, opt *Options) *GraphDiagnosis {
 	eff := opt.withDefaults(n, source)
-	ge := &graphEngine{
-		net:    n,
-		source: source,
-		opt:    eff,
-		part:   n.ECSPartition(),
-		store:  petri.NewMarkingStore(len(n.Places)),
-	}
-	if cp, ok := eff.Term.(CapProvider); ok {
-		ge.caps = cp.Caps(n)
-	} else {
-		ge.caps = NewIrrelevance(n).Caps(n)
-	}
-	rootID := ge.intern(n.InitialMarking())
+	ge := newGraphEngine(n, source, eff)
+	rootID := ge.internRoot(n.InitialMarking())
 	ge.explore()
 	d := &GraphDiagnosis{States: len(ge.states)}
 	const maxSample = 16

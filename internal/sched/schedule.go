@@ -4,6 +4,16 @@
 // Petri net for a single-source schedule: a finite cyclic graph that
 // survives every resolution of data-dependent choices and always returns
 // to the initial marking, firing environment sources only at await nodes.
+//
+// The engines find enabled ECSs through petri.EnabledTracker (per-state
+// bitsets maintained incrementally across firings) rather than by
+// scanning the partition, and the default graph engine's exploration
+// is the frontier half of the two-level parallelism model: with
+// Options.ExploreWorkers >= 2 it fans each BFS level out over
+// petri.RunFrontier while keeping state numbering — and therefore the
+// schedule and generated code — byte-identical to the serial search.
+// The source half (one search per uncontrollable input) is pooled by
+// package core, which also wires the two levels into one core budget.
 package sched
 
 import (
