@@ -4,6 +4,10 @@
 #   make build       — compile all packages
 #   make vet         — static analysis
 #   make test        — unit, property and determinism tests under -race
+#   make dist-matrix — the cross-process determinism matrix alone, with
+#                      real spawned worker processes (also part of the
+#                      race test suite; this target is the CI job's
+#                      entry point and a focused local repro command)
 #   make bench       — every benchmark once (shape assertions, no timing)
 #   make benchgate   — benchmark-regression gate vs bench_baseline.json
 #   make fuzz-smoke  — short-budget fuzz pass over both fuzz targets
@@ -14,9 +18,12 @@ FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
 BENCH_ALLOC_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test bench benchgate baseline fuzz-smoke
+.PHONY: ci build vet test dist-matrix bench benchgate baseline fuzz-smoke
 
 ci: build vet test bench benchgate fuzz-smoke
+
+dist-matrix:
+	$(GO) test -race -count=1 -v -run 'TestDeterminismMatrix|TestReachMatrix|TestCorpusSweepDist' ./internal/dist
 
 build:
 	$(GO) build ./...

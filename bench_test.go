@@ -21,6 +21,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	"repro/internal/petri"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -289,6 +290,64 @@ func BenchmarkExploreLarge(b *testing.B) {
 				if r.Len() != want || r.Truncated {
 					b.Fatalf("explored %d markings (truncated=%v), want %d", r.Len(), r.Truncated, want)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreDist documents the per-level protocol overhead of
+// cross-process exploration: the same reachability construction as
+// BenchmarkExploreLarge (on a smaller 4^4-ring product space so the
+// one-shot CI run stays quick) through internal/dist worker processes
+// at 1 and 2 local workers. Each iteration is a full session — init
+// broadcast, one delta/candidate round trip per BFS level, sequential
+// merge — so ns/op versus the serial variant is precisely the protocol
+// cost; the per-level byte traffic is reported as metrics. Workers are
+// spawned once per sub-benchmark (process startup is deployment cost,
+// not per-exploration cost). Results are byte-identical to serial by
+// construction (pinned by the dist determinism matrix), which the loop
+// re-asserts via the state count.
+func BenchmarkExploreDist(b *testing.B) {
+	const pipes, stages = 4, 4
+	want := 1
+	for i := 0; i < pipes; i++ {
+		want *= stages
+	}
+	opt := petri.ExploreOptions{MaxMarkings: want + 1}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		n := exploreLargeNet(pipes, stages)
+		for i := 0; i < b.N; i++ {
+			if r := n.Explore(opt); r.Len() != want || r.Truncated {
+				b.Fatalf("explored %d markings (truncated=%v), want %d", r.Len(), r.Truncated, want)
+			}
+		}
+	})
+	for _, procs := range []int{1, 2} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			pool, err := dist.SpawnLocal(procs)
+			if err != nil {
+				b.Fatalf("spawn %d workers: %v", procs, err)
+			}
+			defer pool.Close()
+			n := exploreLargeNet(pipes, stages)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := n.ExploreDist(pool, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Len() != want || r.Truncated {
+					b.Fatalf("explored %d markings (truncated=%v), want %d", r.Len(), r.Truncated, want)
+				}
+			}
+			b.StopTimer()
+			st := pool.LastSessionStats()
+			if st.Levels > 0 {
+				b.ReportMetric(float64(st.BytesSent)/float64(st.Levels), "sentB/level")
+				b.ReportMetric(float64(st.BytesRecv)/float64(st.Levels), "recvB/level")
+				b.ReportMetric(float64(st.Levels), "levels")
 			}
 		})
 	}

@@ -5,12 +5,18 @@
 // Usage:
 //
 //	pfcbench [-fig20] [-table1] [-table2] [-all] [-frames N]
-//	         [-explore-workers N] [-cpuprofile f] [-memprofile f]
+//	         [-explore-workers N] [-dist-workers N] [-dist-endpoint ep]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // -explore-workers parallelizes the schedule search's state-space
-// exploration (results are byte-identical for every value);
-// -cpuprofile/-memprofile write pprof profiles, so perf regressions
-// can be diagnosed without editing source.
+// exploration; -dist-workers instead shards it across worker OS
+// processes (spawned locally, or awaited as external cmd/qssd
+// processes at -dist-endpoint). Results are byte-identical for every
+// value of either. -cpuprofile/-memprofile write pprof profiles, so
+// perf regressions can be diagnosed without editing source.
+// Contradictory flag combinations (negative counts, -dist-endpoint
+// without -dist-workers, both exploration strategies at once) are
+// rejected with a usage error rather than silently clamped.
 package main
 
 import (
@@ -20,13 +26,37 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
 func main() {
+	// MaybeWorker first: children re-executed by dist.SpawnLocal must
+	// become workers, not rerun the benchmark.
+	dist.MaybeWorker()
 	// realMain so the profiling defers run before the process exits.
 	os.Exit(realMain())
+}
+
+// validateFlags rejects contradictory or out-of-range combinations
+// with a descriptive error instead of silently clamping.
+func validateFlags(frames, exploreWorkers, distWorkers int, distEndpoint string, anyOutput bool) error {
+	switch {
+	case !anyOutput:
+		return fmt.Errorf("nothing to do: pass -fig20, -table1, -table2 or -all")
+	case frames < 1:
+		return fmt.Errorf("-frames must be >= 1, got %d", frames)
+	case exploreWorkers < 0:
+		return fmt.Errorf("-explore-workers must be >= 0 (0 = auto budget), got %d", exploreWorkers)
+	case distWorkers < 0:
+		return fmt.Errorf("-dist-workers must be >= 0 (0 = no worker processes), got %d", distWorkers)
+	case distEndpoint != "" && distWorkers == 0:
+		return fmt.Errorf("-dist-endpoint requires -dist-workers >= 1 (how many workers to await)")
+	case distWorkers > 0 && exploreWorkers > 1:
+		return fmt.Errorf("-dist-workers and -explore-workers > 1 are contradictory: pick in-process or cross-process exploration")
+	}
+	return nil
 }
 
 func realMain() (code int) {
@@ -36,13 +66,16 @@ func realMain() (code int) {
 	all := flag.Bool("all", false, "regenerate everything")
 	frames := flag.Int("frames", 10, "frames for Figure 20")
 	exploreWorkers := flag.Int("explore-workers", 0, "goroutines for the schedule-search exploration (0 = auto budget)")
+	distWorkers := flag.Int("dist-workers", 0, "worker OS processes sharding the exploration (0 = none)")
+	distEndpoint := flag.String("dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *all {
 		*fig20, *table1, *table2 = true, true, true
 	}
-	if !*fig20 && !*table1 && !*table2 {
+	if err := validateFlags(*frames, *exploreWorkers, *distWorkers, *distEndpoint, *fig20 || *table1 || *table2); err != nil {
+		fmt.Fprintln(os.Stderr, "pfcbench:", err)
 		flag.Usage()
 		return 2
 	}
@@ -57,7 +90,12 @@ func realMain() (code int) {
 			}
 		}
 	}()
-	res, err := apps.SynthesizePFCWith(&core.Options{ExploreWorkers: *exploreWorkers, DisableCache: true})
+	res, err := apps.SynthesizePFCWith(&core.Options{
+		ExploreWorkers: *exploreWorkers,
+		DistWorkers:    *distWorkers,
+		DistEndpoint:   *distEndpoint,
+		DisableCache:   true,
+	})
 	if err != nil {
 		return fatal(err)
 	}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestPFCBenchFlagValidation: contradictory or out-of-range flag
+// combinations are rejected with a descriptive error instead of being
+// silently clamped.
+func TestPFCBenchFlagValidation(t *testing.T) {
+	type tc struct {
+		name                                string
+		frames, exploreWorkers, distWorkers int
+		distEndpoint                        string
+		anyOutput, wantErr                  bool
+	}
+	cases := []tc{
+		{name: "defaults", frames: 10, anyOutput: true},
+		{name: "explore-workers", frames: 10, exploreWorkers: 8, anyOutput: true},
+		{name: "dist", frames: 10, distWorkers: 2, anyOutput: true},
+		{name: "dist-endpoint", frames: 1, distWorkers: 1, distEndpoint: "tcp:127.0.0.1:9000", anyOutput: true},
+		{name: "no-output", frames: 10, wantErr: true},
+		{name: "zero-frames", frames: 0, anyOutput: true, wantErr: true},
+		{name: "negative-explore", frames: 10, exploreWorkers: -1, anyOutput: true, wantErr: true},
+		{name: "negative-dist", frames: 10, distWorkers: -3, anyOutput: true, wantErr: true},
+		{name: "endpoint-without-workers", frames: 10, distEndpoint: "unix:/tmp/q.sock", anyOutput: true, wantErr: true},
+		{name: "both-strategies", frames: 10, distWorkers: 2, exploreWorkers: 4, anyOutput: true, wantErr: true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.frames, c.exploreWorkers, c.distWorkers, c.distEndpoint, c.anyOutput)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateFlags err = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -5,15 +5,25 @@
 // Usage:
 //
 //	qssbatch [-n apps] [-seed N] [-workers N] [-explore-workers N]
+//	         [-dist-workers N] [-dist-endpoint ep]
 //	         [-compare] [-cpuprofile f] [-memprofile f] [shape flags] [-v]
 //
 // -workers bounds the number of concurrent app syntheses (0 =
 // GOMAXPROCS); -explore-workers additionally parallelizes each
 // schedule search's state-space exploration (the second level of the
-// parallelism model). -compare additionally runs the serial baseline
-// and prints the speedup. -cpuprofile/-memprofile write pprof
-// profiles, so perf regressions can be diagnosed without editing
-// source. Shape flags mirror corpus.Config; see internal/corpus.
+// parallelism model). -dist-workers instead shards each exploration
+// across that many worker OS processes — spawned locally, or awaited
+// as external cmd/qssd processes at -dist-endpoint — over one shared
+// pool for the whole batch; results are byte-identical either way.
+// -compare additionally runs the serial baseline and prints the
+// speedup. -cpuprofile/-memprofile write pprof profiles, so perf
+// regressions can be diagnosed without editing source. Shape flags
+// mirror corpus.Config; see internal/corpus.
+//
+// Contradictory flag combinations (negative counts, -dist-endpoint
+// without -dist-workers, -dist-workers together with -explore-workers
+// parallelism) are rejected with a usage error rather than silently
+// clamped.
 package main
 
 import (
@@ -25,19 +35,55 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	"repro/internal/profiling"
 )
 
 func main() {
+	// MaybeWorker first: children re-executed by dist.SpawnLocal must
+	// become workers, not run another batch.
+	dist.MaybeWorker()
 	// realMain so the profiling defers run before the process exits.
 	os.Exit(realMain())
 }
 
+// batchFlags holds the scalar flags that need cross-validation.
+type batchFlags struct {
+	n              int
+	workers        int
+	exploreWorkers int
+	distWorkers    int
+	distEndpoint   string
+}
+
+// validate rejects contradictory or out-of-range combinations with a
+// descriptive error instead of silently clamping.
+func (f *batchFlags) validate() error {
+	switch {
+	case f.n < 0:
+		return fmt.Errorf("-n must be >= 0, got %d", f.n)
+	case f.workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", f.workers)
+	case f.exploreWorkers < 0:
+		return fmt.Errorf("-explore-workers must be >= 0 (0 = auto budget), got %d", f.exploreWorkers)
+	case f.distWorkers < 0:
+		return fmt.Errorf("-dist-workers must be >= 0 (0 = no worker processes), got %d", f.distWorkers)
+	case f.distEndpoint != "" && f.distWorkers == 0:
+		return fmt.Errorf("-dist-endpoint requires -dist-workers >= 1 (how many workers to await)")
+	case f.distWorkers > 0 && f.exploreWorkers > 1:
+		return fmt.Errorf("-dist-workers and -explore-workers > 1 are contradictory: pick in-process or cross-process exploration")
+	}
+	return nil
+}
+
 func realMain() (code int) {
-	n := flag.Int("n", 20, "number of corpus apps to generate")
+	var bf batchFlags
+	flag.IntVar(&bf.n, "n", 20, "number of corpus apps to generate")
 	seed := flag.Int64("seed", 1, "master corpus seed")
-	workers := flag.Int("workers", 0, "concurrent app syntheses (0 = GOMAXPROCS)")
-	exploreWorkers := flag.Int("explore-workers", 1, "goroutines per schedule-search exploration (0 = auto budget)")
+	flag.IntVar(&bf.workers, "workers", 0, "concurrent app syntheses (0 = GOMAXPROCS)")
+	flag.IntVar(&bf.exploreWorkers, "explore-workers", 1, "goroutines per schedule-search exploration (0 = auto budget)")
+	flag.IntVar(&bf.distWorkers, "dist-workers", 0, "worker OS processes sharding each exploration (0 = none)")
+	flag.StringVar(&bf.distEndpoint, "dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning")
 	compare := flag.Bool("compare", false, "also run the serial baseline and report the speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -54,11 +100,12 @@ func realMain() (code int) {
 	flag.Float64Var(&cfg.BoundDensity, "bounds", cfg.BoundDensity, "explicit channel bound probability")
 	flag.Parse()
 
-	if *n < 0 {
-		fmt.Fprintln(os.Stderr, "qssbatch: -n must be >= 0")
+	if err := bf.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "qssbatch:", err)
+		flag.Usage()
 		return 2
 	}
-	apps := corpus.GenerateCorpus(*seed, *n, cfg)
+	apps := corpus.GenerateCorpus(*seed, bf.n, cfg)
 	procs := 0
 	for _, a := range apps {
 		procs += a.Procs
@@ -82,19 +129,45 @@ func realMain() (code int) {
 	// The batch scales out over apps; the per-app source pool stays
 	// serial so the app level and the frontier level are the only two
 	// pools contending for cores.
-	copt := &core.Options{Workers: 1, ExploreWorkers: *exploreWorkers, DisableCache: true}
+	copt := &core.Options{Workers: 1, ExploreWorkers: bf.exploreWorkers, DisableCache: true}
+	if bf.distWorkers > 0 {
+		// One pool amortized over the whole batch (a dist pool is a
+		// sequential resource, so the batch itself stays serial too).
+		var (
+			pool *dist.Pool
+			err  error
+		)
+		if bf.distEndpoint != "" {
+			fmt.Printf("awaiting %d qssd worker(s) at %s\n", bf.distWorkers, bf.distEndpoint)
+			pool, err = dist.Listen(bf.distEndpoint, bf.distWorkers)
+		} else {
+			pool, err = dist.SpawnLocal(bf.distWorkers)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qssbatch:", err)
+			return 1
+		}
+		defer pool.Close()
+		copt.Dist = pool
+		bf.workers = 1
+	}
 
-	run := func(w int) *corpus.BatchResult {
-		return corpus.RunBatch(context.Background(), apps, corpus.BatchOptions{Workers: w, Core: copt})
+	run := func(w int, o *core.Options) *corpus.BatchResult {
+		return corpus.RunBatch(context.Background(), apps, corpus.BatchOptions{Workers: w, Core: o})
 	}
 
 	var serial *corpus.BatchResult
 	if *compare {
-		serial = run(1)
+		// The -compare baseline is fully serial: no app pool, no
+		// in-process frontier workers, no dist pool.
+		serial = run(1, &core.Options{Workers: 1, ExploreWorkers: 1, DisableCache: true})
 		report("serial", serial, *verbose)
 	}
-	br := run(*workers)
-	name := fmt.Sprintf("workers=%d", effectiveWorkers(*workers))
+	br := run(bf.workers, copt)
+	name := fmt.Sprintf("workers=%d", effectiveWorkers(bf.workers))
+	if bf.distWorkers > 0 {
+		name = fmt.Sprintf("dist-workers=%d", bf.distWorkers)
+	}
 	report(name, br, *verbose)
 	if serial != nil && br.Elapsed > 0 {
 		fmt.Printf("speedup: %.2fx\n", serial.Elapsed.Seconds()/br.Elapsed.Seconds())

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+// TestBatchFlagValidation: contradictory or out-of-range flag
+// combinations are rejected with a descriptive error instead of being
+// silently clamped.
+func TestBatchFlagValidation(t *testing.T) {
+	ok := func(f batchFlags) bool { return f.validate() == nil }
+	valid := []batchFlags{
+		{},
+		{n: 50, workers: 4, exploreWorkers: 4},
+		{n: 1, exploreWorkers: 0},
+		{distWorkers: 2},
+		{distWorkers: 2, exploreWorkers: 1},
+		{distWorkers: 3, distEndpoint: "unix:/tmp/x.sock"},
+	}
+	for i, f := range valid {
+		if !ok(f) {
+			t.Errorf("valid combination %d rejected: %v", i, f.validate())
+		}
+	}
+	invalid := []batchFlags{
+		{n: -1},
+		{workers: -2},
+		{exploreWorkers: -1},
+		{distWorkers: -1},
+		{distEndpoint: "unix:/tmp/x.sock"},         // endpoint without workers
+		{distWorkers: 2, exploreWorkers: 4},        // two exploration strategies
+		{distWorkers: 1, exploreWorkers: 2, n: 10}, // ditto, with other flags set
+		{n: -5, workers: 3, distWorkers: 2, exploreWorkers: 0}, // first failure still reported
+	}
+	for i, f := range invalid {
+		if ok(f) {
+			t.Errorf("invalid combination %d (%+v) accepted", i, f)
+		}
+	}
+}

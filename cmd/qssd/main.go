@@ -1,0 +1,51 @@
+// Command qssd is a standalone distributed-exploration worker: it
+// dials a coordinator (a synthesis run started with -dist-workers and
+// -dist-endpoint on cmd/qssbatch or cmd/pfcbench, or any caller of
+// core.Options.DistEndpoint), then serves exploration sessions —
+// holding a replica of the marking store rebuilt from per-level delta
+// batches and expanding the frontier states whose hash shards it owns —
+// until the coordinator closes the connection.
+//
+// Usage:
+//
+//	qssd -connect unix:/path/to.sock
+//	qssd -connect tcp:host:port [-timeout 30s]
+//
+// One qssd process is one worker; start as many as the coordinator was
+// told to await. Determinism is the coordinator's job: any number of
+// workers, on any machines, produces byte-identical results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	connect := flag.String("connect", "", "coordinator endpoint (unix:/path, tcp:host:port, or a bare unix-socket path)")
+	timeout := flag.Duration("timeout", 30*time.Second, "how long to keep retrying the initial dial")
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "qssd: -connect is required")
+		flag.Usage()
+		return 2
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "qssd: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		return 2
+	}
+	if err := dist.Serve(*connect, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "qssd:", err)
+		return 1
+	}
+	return 0
+}

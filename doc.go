@@ -64,6 +64,39 @@
 // a map lookup (core.Stats reports hit rates; core.ResetCache empties
 // it).
 //
+// # Distributed exploration
+//
+// The third execution strategy takes the frontier across process
+// boundaries (internal/dist): a deterministic coordinator in the
+// synthesizing process drives worker OS processes — spawned locally by
+// re-executing the current binary (dist.SpawnLocal + dist.MaybeWorker)
+// or started anywhere as cmd/qssd and dialed in over unix sockets or
+// TCP (dist.Listen, core.Options.DistEndpoint) — through a
+// length-prefixed binary protocol. Workers own contiguous ranges of
+// marking-hash shards (petri.ShardOfHash/ShardOwner, the same
+// top-FNV-bits function the in-process petri.ShardedStore stripes by,
+// so shard ownership maps one-to-one onto the ShardedStore's routing);
+// each worker expands the frontier states in its ranges against a full
+// replica of the marking store that it rebuilds from compact per-level
+// delta batches (petri.Delta: parent MarkID + fired transition — the
+// steady state ships no token vectors), and answers with candidate
+// streams classifying each successor as vetoed, known (dense global
+// MarkID) or new. The determinism contract is the coordinator's merge:
+// it is petri.RunFrontier's sequential phase C verbatim (one shared
+// petri.MergeHooks definition), walking states in MarkID order and
+// candidates in the serial emit order, so dense MarkID assignment —
+// and therefore ReachResult ordering, schedules and generated C — is
+// byte-identical for every process count, every in-process worker
+// count, and the plain serial loop. Exploration semantics travel as a
+// self-contained petri.ExpandSpec (fireable-ECS mask + place caps) and
+// the net itself crosses the wire through petri.AppendNet/DecodeNet,
+// which round-trips exactly the structure firing, ECS partitioning and
+// the enabled tracker depend on. The matrix test
+// (internal/dist, `make dist-matrix`, its own CI job) pins generated C
+// across {serial, ExploreWorkers 1/4/8, worker processes 1/2/4} plus a
+// 50-app corpus sweep with real spawned processes under -race;
+// BenchmarkExploreDist documents the per-level protocol overhead.
+//
 // # Scenario corpus
 //
 // Beyond the four hand-written applications of internal/apps, the

@@ -1,0 +1,54 @@
+/* Task task_in: quasi-statically scheduled for source in. */
+#include "divisors.data.h"
+
+int divisors_p2;
+int divisors_n;
+int divisors_i;
+
+void task_in_init(void)
+{
+  divisors_p2 = 0;
+}
+
+void task_in_ISR(void)
+{
+  in:
+  in();
+  READ_DATA(in, &divisors_n, 1);
+  divisors_i = (divisors_n / 2);
+  while (((divisors_n % divisors_i) != 0))
+    divisors_i--;
+  WRITE_DATA(max, divisors_i, 1);
+  /* deliver max to the environment */
+  WRITE_DATA(all, divisors_i, 1);
+  divisors_p2 = divisors_p2 + 1;
+  goto all;
+  divisors_t5:
+  goto divisors_t7;
+  divisors_t7:
+  divisors_p2 = divisors_p2 + 1;
+  goto divisors_t2divisors_t8;
+  divisors_t2divisors_t8:
+  if ((divisors_i > 1)) {
+    divisors_i--;
+    if (((divisors_n % divisors_i) == 0)) {
+      WRITE_DATA(all, divisors_i, 1);
+      divisors_p2 = divisors_p2 - 1;
+      goto all;
+    } else {
+      divisors_p2 = divisors_p2 - 1;
+      goto divisors_t7;
+    }
+  } else {
+    divisors_p2 = divisors_p2 - 1;
+    return;
+  }
+  all:
+  /* deliver all to the environment */
+  if (divisors_p2 == 1) {
+    goto divisors_t2divisors_t8;
+  }
+  else {
+    goto divisors_t5;
+  }
+}

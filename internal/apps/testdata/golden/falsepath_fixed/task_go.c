@@ -1,0 +1,102 @@
+/* Task task_go: quasi-statically scheduled for source go. */
+#include "falsepath_fixed.data.h"
+
+int a_p0;
+int a_p2;
+int b_p0;
+int b_p2;
+int BUF_C0;
+int BUF_D0;
+int a_g;
+int a_i;
+int b_v;
+int b_sum;
+int b_done;
+
+void task_go_init(void)
+{
+  a_p0 = 1;
+  a_p2 = 0;
+  b_p0 = 1;
+  b_p2 = 0;
+  BUF_C0 = 0;
+  BUF_D0 = 0;
+}
+
+void task_go_ISR(void)
+{
+  go:
+  go();
+  READ_DATA(go, &a_g, 1);
+  a_i = 0;
+  a_p0 = a_p0 - 1;
+  goto a_t1a_t4;
+  a_t2:
+  BUF_C0 = (a_g + a_i);
+  b_v = BUF_C0;
+  b_sum = (b_sum + b_v);
+  a_i++;
+  a_p2 = a_p2 - 1;
+  b_p2 = b_p2 - 1;
+  goto a_t1a_t4;
+  a_t5:
+  BUF_D0 = 0;
+  b_v = BUF_D0;
+  b_done = 1;
+  a_p0 = a_p0 + 1;
+  b_p2 = b_p2 - 1;
+  goto b_t6;
+  b_t0:
+  b_sum = 0;
+  b_done = 0;
+  b_p0 = b_p0 - 1;
+  goto b_t1b_t7;
+  b_t1b_t7:
+  if (!b_done) {
+    b_p2 = b_p2 + 1;
+    if (a_p0 == 1 && a_p2 == 0 && b_p0 == 0 && b_p2 == 1) {
+      return;
+    }
+    else if (a_p0 == 0 && a_p2 == 1 && b_p0 == 0 && b_p2 == 1) {
+      goto a_t2;
+    }
+    else {
+      goto a_t5;
+    }
+  } else {
+    WRITE_DATA(res, b_sum, 1);
+    /* deliver res to the environment */
+    b_p0 = b_p0 + 1;
+    if (a_p0 == 1 && a_p2 == 0 && b_p0 == 1 && b_p2 == 0) {
+      return;
+    }
+    else {
+      goto b_t0;
+    }
+  }
+  b_t6:
+  goto b_t1b_t7;
+  a_t1a_t4:
+  if ((a_i < 10)) {
+    a_p2 = a_p2 + 1;
+    if (a_p0 == 0 && a_p2 == 1 && b_p0 == 0 && b_p2 == 1) {
+      goto a_t2;
+    }
+    else if (a_p0 == 0 && a_p2 == 1 && b_p0 == 1 && b_p2 == 0) {
+      goto b_t0;
+    }
+    else {
+      goto b_t6;
+    }
+  } else {
+    if (a_p0 == 0 && a_p2 == 0 && b_p0 == 0 && b_p2 == 1) {
+      goto a_t5;
+    }
+    else if (a_p0 == 0 && a_p2 == 0 && b_p0 == 1 && b_p2 == 0) {
+      goto b_t0;
+    }
+    else {
+      goto b_t6;
+    }
+  }
+}

@@ -1,0 +1,138 @@
+/* Task task_init: quasi-statically scheduled for source init. */
+#include "pfc.data.h"
+
+int controller_p0;
+int producer_p3;
+int filter_p1;
+int consumer_p0;
+int BUF_Coeff;
+int BUF_Req;
+int BUF_Pix;
+int BUF_Eof;
+int BUF_FPix;
+int BUF_FEof;
+int BUF_Ack;
+int controller_cmd;
+int controller_c;
+int controller_a;
+int producer_r;
+int producer_i;
+int producer_j;
+int filter_c;
+int filter_v;
+int filter_d;
+int consumer_v;
+int consumer_d;
+
+void task_init_init(void)
+{
+  controller_p0 = 1;
+  producer_p3 = 0;
+  filter_p1 = 0;
+  consumer_p0 = 1;
+  BUF_Coeff = 0;
+  BUF_Req = 0;
+  BUF_Pix = 0;
+  BUF_Eof = 0;
+  BUF_FPix = 0;
+  BUF_FEof = 0;
+  BUF_Ack = 0;
+  filter_c = 1;
+}
+
+void task_init_ISR(void)
+{
+  init:
+  init();
+  READ_DATA(init, &controller_cmd, 1);
+  cin();
+  READ_DATA(cin, &controller_c, 1);
+  BUF_Coeff = controller_c;
+  filter_c = BUF_Coeff;
+  BUF_Req = controller_cmd;
+  producer_r = BUF_Req;
+  producer_i = 0;
+  controller_p0 = controller_p0 - 1;
+  filter_p1 = filter_p1 + 1;
+  goto producer_t1producer_t6;
+  producer_t2producer_t5:
+  if ((producer_j < 10)) {
+    producer_p3 = producer_p3 + 1;
+    if (controller_p0 == 0 && producer_p3 == 1 && filter_p1 == 0 && consumer_p0 == 0) {
+      goto filter_t4;
+    }
+    else {
+      goto filter_t8;
+    }
+  } else {
+    producer_i++;
+    goto producer_t1producer_t6;
+  }
+  producer_t3:
+  BUF_Pix = (((producer_i * 10) + producer_j) + producer_r);
+  filter_v = BUF_Pix;
+  filter_v = (filter_v * filter_c);
+  BUF_FPix = filter_v;
+  consumer_v = BUF_FPix;
+  WRITE_DATA(display, consumer_v, 1);
+  /* deliver display to the environment */
+  producer_j++;
+  producer_p3 = producer_p3 - 1;
+  consumer_p0 = consumer_p0 - 1;
+  goto producer_t2producer_t5;
+  producer_t7:
+  BUF_Eof = 0;
+  filter_d = BUF_Eof;
+  BUF_FEof = 0;
+  consumer_d = BUF_FEof;
+  BUF_Ack = 0;
+  controller_a = BUF_Ack;
+  controller_p0 = controller_p0 + 1;
+  filter_p1 = filter_p1 + 1;
+  consumer_p0 = consumer_p0 - 1;
+  goto filter_t8;
+  filter_t4:
+  filter_p1 = filter_p1 + 1;
+  goto filter_t8;
+  filter_t8:
+  filter_p1 = filter_p1 - 1;
+  if (controller_p0 == 0 && producer_p3 == 1 && filter_p1 == 0 && consumer_p0 == 1) {
+    goto producer_t3;
+  }
+  else if (controller_p0 == 0 && producer_p3 == 0 && filter_p1 == 0 && consumer_p0 == 1) {
+    goto producer_t7;
+  }
+  else if ((controller_p0 == 0 && producer_p3 == 0 && filter_p1 == 0 && consumer_p0 == 0) || (controller_p0 == 0 && producer_p3 == 1 && filter_p1 == 0 && consumer_p0 == 0)) {
+    goto consumer_t2;
+  }
+  else {
+    goto consumer_t5;
+  }
+  consumer_t2:
+  goto consumer_t6;
+  consumer_t5:
+  goto consumer_t6;
+  consumer_t6:
+  consumer_p0 = consumer_p0 + 1;
+  if (controller_p0 == 1 && producer_p3 == 0 && filter_p1 == 0 && consumer_p0 == 1) {
+    return;
+  }
+  else if (controller_p0 == 0 && producer_p3 == 1 && filter_p1 == 0 && consumer_p0 == 1) {
+    goto producer_t3;
+  }
+  else {
+    goto producer_t7;
+  }
+  producer_t1producer_t6:
+  if ((producer_i < 10)) {
+    producer_j = 0;
+    goto producer_t2producer_t5;
+  } else {
+    if (controller_p0 == 0 && producer_p3 == 0 && filter_p1 == 0 && consumer_p0 == 0) {
+      goto filter_t4;
+    }
+    else {
+      goto filter_t8;
+    }
+  }
+}

@@ -1,0 +1,108 @@
+/* Task task_go: quasi-statically scheduled for source go. */
+#include "pixelpipe.data.h"
+
+int producer_p0;
+int producer_p2;
+int consumer_p0;
+int consumer_p2;
+int BUF_Pix;
+int BUF_Eol;
+int BUF_Ack;
+int producer_n;
+int producer_i;
+int producer_a;
+int consumer_v;
+int consumer_e;
+int consumer_done;
+int consumer_sum;
+
+void task_go_init(void)
+{
+  producer_p0 = 1;
+  producer_p2 = 0;
+  consumer_p0 = 1;
+  consumer_p2 = 0;
+  BUF_Pix = 0;
+  BUF_Eol = 0;
+  BUF_Ack = 0;
+}
+
+void task_go_ISR(void)
+{
+  go:
+  go();
+  READ_DATA(go, &producer_n, 1);
+  producer_i = 0;
+  producer_p0 = producer_p0 - 1;
+  goto producer_t1producer_t4;
+  producer_t2:
+  BUF_Pix = ((producer_i * 3) + 1);
+  consumer_v = BUF_Pix;
+  consumer_sum = (consumer_sum + consumer_v);
+  producer_i++;
+  producer_p2 = producer_p2 - 1;
+  consumer_p2 = consumer_p2 - 1;
+  goto producer_t1producer_t4;
+  producer_t5:
+  BUF_Eol = producer_n;
+  consumer_e = BUF_Eol;
+  BUF_Ack = 0;
+  producer_a = BUF_Ack;
+  consumer_done = 1;
+  producer_p0 = producer_p0 + 1;
+  consumer_p2 = consumer_p2 - 1;
+  goto consumer_t7;
+  consumer_t0:
+  consumer_done = 0;
+  consumer_sum = 0;
+  consumer_p0 = consumer_p0 - 1;
+  goto consumer_t1consumer_t8;
+  consumer_t1consumer_t8:
+  if (!consumer_done) {
+    consumer_p2 = consumer_p2 + 1;
+    if (producer_p0 == 1 && producer_p2 == 0 && consumer_p0 == 0 && consumer_p2 == 1) {
+      return;
+    }
+    else if (producer_p0 == 0 && producer_p2 == 1 && consumer_p0 == 0 && consumer_p2 == 1) {
+      goto producer_t2;
+    }
+    else {
+      goto producer_t5;
+    }
+  } else {
+    WRITE_DATA(out, consumer_sum, 1);
+    /* deliver sums to the environment */
+    consumer_p0 = consumer_p0 + 1;
+    if (producer_p0 == 1 && producer_p2 == 0 && consumer_p0 == 1 && consumer_p2 == 0) {
+      return;
+    }
+    else {
+      goto consumer_t0;
+    }
+  }
+  consumer_t7:
+  goto consumer_t1consumer_t8;
+  producer_t1producer_t4:
+  if ((producer_i < producer_n)) {
+    producer_p2 = producer_p2 + 1;
+    if (producer_p0 == 0 && producer_p2 == 1 && consumer_p0 == 0 && consumer_p2 == 1) {
+      goto producer_t2;
+    }
+    else if (producer_p0 == 0 && producer_p2 == 1 && consumer_p0 == 1 && consumer_p2 == 0) {
+      goto consumer_t0;
+    }
+    else {
+      goto consumer_t7;
+    }
+  } else {
+    if (producer_p0 == 0 && producer_p2 == 0 && consumer_p0 == 0 && consumer_p2 == 1) {
+      goto producer_t5;
+    }
+    else if (producer_p0 == 0 && producer_p2 == 0 && consumer_p0 == 1 && consumer_p2 == 0) {
+      goto consumer_t0;
+    }
+    else {
+      goto consumer_t7;
+    }
+  }
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/compile"
+	"repro/internal/dist"
 	"repro/internal/flowc"
 	"repro/internal/link"
 	"repro/internal/petri"
@@ -46,6 +47,28 @@ type Options struct {
 	// serial exploration. Results are byte-identical for every value.
 	// An explicit Sched.ExploreWorkers takes precedence.
 	ExploreWorkers int
+	// DistWorkers > 0 shards each schedule search's frontier
+	// exploration across that many worker OS processes (internal/dist)
+	// instead of in-process goroutines. By default the processes are
+	// spawned locally by re-executing the current binary, which must
+	// call dist.MaybeWorker first thing in main; set DistEndpoint to
+	// await externally started cmd/qssd workers instead. The pool lives
+	// for one Synthesize call; callers amortizing a pool across many
+	// calls pass a pre-connected one via Dist. Schedules and generated
+	// code are byte-identical to the serial path for every process
+	// count; the source-level pool is forced serial while a dist pool
+	// is active (the pool is a sequential resource). Contradicts
+	// ExploreWorkers > 1 — callers choose one exploration strategy.
+	DistWorkers int
+	// DistEndpoint, with DistWorkers > 0, listens at this endpoint
+	// ("unix:/path", "tcp:host:port", or a bare unix-socket path) and
+	// waits for DistWorkers externally started workers rather than
+	// spawning local ones.
+	DistEndpoint string
+	// Dist is a pre-connected worker pool (see internal/dist.Pool);
+	// when set it takes precedence over DistWorkers/DistEndpoint and
+	// its lifecycle belongs to the caller.
+	Dist *dist.Pool
 	// DisableCache bypasses the content-addressed synthesis cache for
 	// this call. Only the textual entry points (Synthesize,
 	// SynthesizeContext) consult the cache; see cache.go.
@@ -167,7 +190,14 @@ func SynthesizeSystemContext(ctx context.Context, f *flowc.File, spec *link.Spec
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: system %s has no uncontrollable inputs; nothing triggers a task", spec.Name)
 	}
-	res.Schedules, err = findSchedules(ctx, sys.Net, sources, opt)
+	distPool, ownPool, err := resolveDistPool(opt)
+	if err != nil {
+		return nil, err
+	}
+	if ownPool {
+		defer distPool.Close()
+	}
+	res.Schedules, err = findSchedules(ctx, sys.Net, sources, opt, distPool)
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +224,33 @@ func SynthesizeSystemContext(ctx context.Context, f *flowc.File, spec *link.Spec
 	return res, nil
 }
 
+// resolveDistPool materializes the distributed-exploration pool the
+// options call for: the caller's pre-connected pool, a freshly spawned
+// local set of worker processes, or a listener awaiting external
+// workers. ownPool reports whether this call owns (and must Close) it.
+func resolveDistPool(opt *Options) (p *dist.Pool, ownPool bool, err error) {
+	if opt.Dist != nil {
+		return opt.Dist, false, nil
+	}
+	if opt.DistWorkers <= 0 {
+		return nil, false, nil
+	}
+	if opt.DistEndpoint != "" {
+		p, err = dist.Listen(opt.DistEndpoint, opt.DistWorkers)
+	} else {
+		p, err = dist.SpawnLocal(opt.DistWorkers)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("core: distributed exploration: %w", err)
+	}
+	return p, true, nil
+}
+
 // findSchedules runs one schedule search per uncontrollable source on a
 // bounded worker pool. Results are ordered by source index regardless of
 // completion order; the first error cancels the dispatch of pending
 // searches, and the lowest-index error is reported for determinism.
-func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Options) ([]*sched.Schedule, error) {
+func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Options, distPool *dist.Pool) ([]*sched.Schedule, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -206,7 +258,21 @@ func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Option
 	if workers > len(sources) {
 		workers = len(sources)
 	}
+	if distPool != nil {
+		// The pool serializes sessions; concurrent searches would only
+		// queue on it, so keep the source level serial.
+		workers = 1
+	}
 	schedOpt := wireExploreWorkers(opt, workers)
+	if distPool != nil {
+		so := sched.Options{}
+		if schedOpt != nil {
+			so = *schedOpt
+		}
+		so.Dist = distPool
+		so.ExploreWorkers = 0
+		schedOpt = &so
+	}
 	out := make([]*sched.Schedule, len(sources))
 	if workers <= 1 {
 		for i, src := range sources {

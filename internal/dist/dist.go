@@ -1,0 +1,141 @@
+// Package dist shards the level-synchronous frontier exploration
+// across OS processes: a deterministic coordinator in the synthesizing
+// process drives a pool of worker processes, each owning a contiguous
+// range of marking-hash shards (the same top-FNV-bits shard function as
+// petri.ShardedStore), over a length-prefixed binary protocol on unix
+// sockets or TCP.
+//
+// # Determinism contract
+//
+// The coordinator performs the exact sequential first-discovery merge
+// of petri.RunFrontier's phase C: frontier states are walked in dense
+// MarkID order and each state's candidate edges in the emit order of
+// the serial loop, so dense MarkID assignment — and with it state
+// numbering, schedules and generated C — is byte-identical for every
+// worker-process count, including the in-process parallel and plain
+// serial paths. Workers only ever move the phase-A work (firing,
+// hashing, known-state resolution) out of the coordinator; they never
+// influence ordering.
+//
+// # Protocol
+//
+// Per session (one exploration), the coordinator sends the net, the
+// petri.ExpandSpec (fireable-ECS mask + place caps) and the root
+// markings once. Each level is then one round trip: the coordinator
+// broadcasts the level's newly discovered states as a compact delta
+// batch (petri.Delta: parent MarkID + fired transition — every worker
+// re-fires to reconstruct the vectors, so steady-state traffic carries
+// no token vectors), every worker expands the frontier states whose
+// shard it owns and answers with a candidate stream (veto / known
+// global MarkID / new), and the coordinator merges. Workers keep a
+// full replica of the store and the incremental enabled-set arena;
+// trimming replicas to owned states (shipping vectors in deltas
+// instead) is the step that would take state spaces beyond one
+// machine's RAM, and is deliberately left to a follow-up — the wire
+// format already supports it.
+//
+// # Process management
+//
+// SpawnLocal re-executes the current binary as worker processes; any
+// binary (or test binary) that may act as a coordinator must call
+// MaybeWorker first thing in main (or TestMain), which hijacks the
+// process when the QSS_DIST_WORKER environment variable is set.
+// Externally managed workers (other machines, containers) run the
+// cmd/qssd binary and dial the endpoint the coordinator listens on via
+// Listen. Set QSS_DIST_LOGDIR to make coordinator and workers write
+// per-process log files (CI uploads them when the determinism matrix
+// fails).
+package dist
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+// Environment variables wiring spawned worker processes to their
+// coordinator (see MaybeWorker) and the optional log directory.
+const (
+	EnvWorker   = "QSS_DIST_WORKER"
+	EnvEndpoint = "QSS_DIST_ENDPOINT"
+	EnvLogDir   = "QSS_DIST_LOGDIR"
+)
+
+// ParseEndpoint splits an endpoint of the form "unix:/path/to.sock",
+// "tcp:host:port" or a bare filesystem path (treated as a unix socket)
+// into a (network, address) pair for package net.
+func ParseEndpoint(ep string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(ep, "unix:"):
+		return "unix", ep[len("unix:"):], nil
+	case strings.HasPrefix(ep, "tcp:"):
+		return "tcp", ep[len("tcp:"):], nil
+	case ep == "":
+		return "", "", fmt.Errorf("dist: empty endpoint")
+	default:
+		return "unix", ep, nil
+	}
+}
+
+// dialRetry dials the endpoint, retrying briefly: a spawned worker may
+// race the coordinator's listener setup by a few milliseconds.
+func dialRetry(ep string, budget time.Duration) (net.Conn, error) {
+	network, addr, err := ParseEndpoint(ep)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(budget)
+	for {
+		c, err := net.Dial(network, addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: dial %s: %w", ep, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Serve dials the coordinator at the endpoint (retrying for up to
+// dialBudget) and serves exploration sessions until the coordinator
+// closes the connection — the body of the cmd/qssd worker binary.
+func Serve(endpoint string, dialBudget time.Duration) error {
+	logw := newLogWriterTo("worker", os.Stderr)
+	conn, err := dialRetry(endpoint, dialBudget)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return ServeConn(conn, logw)
+}
+
+// MaybeWorker turns the current process into a dist worker when the
+// QSS_DIST_WORKER environment variable is set, never returning in that
+// case: it dials the coordinator at QSS_DIST_ENDPOINT, serves
+// exploration sessions until the connection closes, and exits. Every
+// binary that can act as a coordinator via SpawnLocal — the cmd tools,
+// and test binaries through TestMain — must call it before doing
+// anything else, so the re-executed children become workers instead of
+// re-running the caller's main logic.
+func MaybeWorker() {
+	if os.Getenv(EnvWorker) == "" {
+		return
+	}
+	logw := newLogWriter("worker")
+	ep := os.Getenv(EnvEndpoint)
+	conn, err := dialRetry(ep, 10*time.Second)
+	if err != nil {
+		logw.printf("%v", err)
+		os.Exit(1)
+	}
+	if err := ServeConn(conn, logw); err != nil {
+		logw.printf("serve: %v", err)
+		conn.Close()
+		os.Exit(1)
+	}
+	conn.Close()
+	os.Exit(0)
+}

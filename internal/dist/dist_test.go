@@ -1,0 +1,220 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/petri"
+)
+
+// pipePool builds a Pool whose "workers" are goroutines on the other
+// end of net.Pipe connections — the full protocol stack (framing,
+// encoding, replica, merge) without process spawning, so the unit tests
+// stay fast and debuggable. Process-level coverage lives in the
+// determinism matrix tests (package dist_test).
+func pipePool(t *testing.T, n int) *Pool {
+	t.Helper()
+	p := &Pool{logw: newLogWriter("coord")}
+	for i := 0; i < n; i++ {
+		cs, ws := net.Pipe()
+		errc := make(chan error, 1)
+		go func() { errc <- ServeConn(ws, newLogWriter("worker")) }()
+		c := newConn(cs)
+		payload, err := c.expect(msgHello)
+		if err == nil {
+			err = checkHello(payload)
+		}
+		if err != nil {
+			t.Fatalf("pipe worker %d handshake: %v", i, err)
+		}
+		p.workers = append(p.workers, c)
+		t.Cleanup(func() {
+			cs.Close()
+			if err := <-errc; err != nil {
+				t.Errorf("pipe worker exited: %v", err)
+			}
+		})
+	}
+	return p
+}
+
+// ringNet builds `pipes` independent token rings of `stages` places
+// whose reachable space is the full product of ring positions — the
+// same family as the exploration benchmarks.
+func ringNet(pipes, stages int) *petri.Net {
+	n := petri.New(fmt.Sprintf("ring-%dx%d", pipes, stages))
+	for p := 0; p < pipes; p++ {
+		fuel := n.AddPlace(fmt.Sprintf("fuel%d", p), petri.PlaceChannel, 1)
+		var ps []*petri.Place
+		for s := 0; s < stages; s++ {
+			init := 0
+			if s == 0 {
+				init = 1
+			}
+			ps = append(ps, n.AddPlace(fmt.Sprintf("r%d_%d", p, s), petri.PlaceInternal, init))
+		}
+		for s := 0; s < stages; s++ {
+			t := n.AddTransition(fmt.Sprintf("t%d_%d", p, s), petri.TransNormal)
+			n.AddArc(ps[s], t, 1)
+			n.AddArcTP(t, ps[(s+1)%stages], 1)
+			n.AddSelfLoop(fuel, t, 1)
+		}
+	}
+	return n
+}
+
+// sourceNet is a small net with an uncontrollable source so the
+// FireSources and MaxTokensPerPlace paths get exercised.
+func sourceNet() *petri.Net {
+	n := petri.New("src")
+	p1 := n.AddPlace("p1", petri.PlaceChannel, 0)
+	p2 := n.AddPlace("p2", petri.PlaceChannel, 0)
+	a := n.AddTransition("a", petri.TransSourceUnc)
+	b := n.AddTransition("b", petri.TransNormal)
+	c := n.AddTransition("c", petri.TransNormal)
+	n.AddArcTP(a, p1, 1)
+	n.AddArc(p1, b, 2)
+	n.AddArcTP(b, p2, 1)
+	n.AddArc(p2, c, 1)
+	return n
+}
+
+// requireSameReach asserts two ReachResults are byte-identical:
+// identical marking numbering, edges and clip flags.
+func requireSameReach(t *testing.T, label string, want, got *petri.ReachResult) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: %d states, want %d", label, got.Len(), want.Len())
+	}
+	if want.Truncated != got.Truncated {
+		t.Fatalf("%s: truncated %v, want %v", label, got.Truncated, want.Truncated)
+	}
+	for id := 0; id < want.Len(); id++ {
+		if !want.MarkingAt(petri.MarkID(id)).Equal(got.MarkingAt(petri.MarkID(id))) {
+			t.Fatalf("%s: marking %d differs: %v vs %v", label, id,
+				got.MarkingAt(petri.MarkID(id)), want.MarkingAt(petri.MarkID(id)))
+		}
+		if want.Clipped[id] != got.Clipped[id] {
+			t.Fatalf("%s: clipped[%d] = %v, want %v", label, id, got.Clipped[id], want.Clipped[id])
+		}
+		we, ge := want.Edges[id], got.Edges[id]
+		if len(we) != len(ge) {
+			t.Fatalf("%s: state %d has %d edges, want %d", label, id, len(ge), len(we))
+		}
+		for k := range we {
+			if we[k] != ge[k] {
+				t.Fatalf("%s: state %d edge %d = %+v, want %+v", label, id, k, ge[k], we[k])
+			}
+		}
+	}
+}
+
+// TestExploreDistPipe: distributed exploration over 1..4 pipe workers
+// reproduces the serial ReachResult byte-for-byte on a product-space
+// net, with and without source firing and truncation.
+func TestExploreDistPipe(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *petri.Net
+		opt  petri.ExploreOptions
+	}{
+		{"ring-3x4", ringNet(3, 4), petri.ExploreOptions{MaxMarkings: 100}},
+		{"ring-2x5-exhaustive", ringNet(2, 5), petri.ExploreOptions{MaxMarkings: 1000}},
+		{"source-capped", sourceNet(), petri.ExploreOptions{MaxMarkings: 500, MaxTokensPerPlace: 4, FireSources: true}},
+		{"source-budget", sourceNet(), petri.ExploreOptions{MaxMarkings: 7, MaxTokensPerPlace: 6, FireSources: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.net.Explore(tc.opt)
+			for _, workers := range []int{1, 2, 4} {
+				p := pipePool(t, workers)
+				got, err := tc.net.ExploreDist(p, tc.opt)
+				if err != nil {
+					t.Fatalf("ExploreDist(%d workers): %v", workers, err)
+				}
+				requireSameReach(t, fmt.Sprintf("%d workers", workers), want, got)
+				st := p.LastSessionStats()
+				if st.States != want.Len() || st.Levels == 0 {
+					t.Fatalf("session stats %+v inconsistent with %d states", st, want.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestPoolSessionReuse: one pool serves several explorations in
+// sequence (the batch drivers synthesize many apps over one pool).
+func TestPoolSessionReuse(t *testing.T) {
+	p := pipePool(t, 2)
+	nets := []*petri.Net{ringNet(2, 3), sourceNet(), ringNet(1, 6)}
+	for i, n := range nets {
+		opt := petri.ExploreOptions{MaxMarkings: 200, MaxTokensPerPlace: 3, FireSources: true}
+		want := n.Explore(opt)
+		got, err := n.ExploreDist(p, opt)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		requireSameReach(t, fmt.Sprintf("session %d", i), want, got)
+	}
+}
+
+// TestPoolPoisoned: an infrastructure failure (worker connection dies
+// mid-session) surfaces as an error and poisons the pool for later
+// sessions instead of silently mis-exploring.
+func TestPoolPoisoned(t *testing.T) {
+	p := &Pool{logw: newLogWriter("coord")}
+	cs, ws := net.Pipe()
+	go func() {
+		c := newConn(ws)
+		c.sendHello()
+		c.recv() // init
+		ws.Close()
+	}()
+	c := newConn(cs)
+	if payload, err := c.expect(msgHello); err != nil || checkHello(payload) != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	p.workers = append(p.workers, c)
+	n := ringNet(2, 3)
+	if _, err := n.ExploreDist(p, petri.ExploreOptions{MaxMarkings: 100}); err == nil {
+		t.Fatal("want error from dying worker")
+	}
+	if _, err := n.ExploreDist(p, petri.ExploreOptions{MaxMarkings: 100}); err == nil {
+		t.Fatal("want poisoned-pool error on reuse")
+	}
+}
+
+// TestShardHelpers: the extracted shard functions agree with the
+// ShardedStore's routing and cover every worker.
+func TestShardHelpers(t *testing.T) {
+	for _, shards := range []int{2, 8, 64, 256} {
+		st := petri.NewShardedStore(4, shards)
+		for i := 0; i < 1000; i++ {
+			m := petri.Marking{i & 3, i >> 2 & 7, i >> 5, 1}
+			h := petri.HashMarking(m)
+			if got, want := petri.ShardOfHash(h, st.NumShards()), st.ShardOf(h); got != want {
+				t.Fatalf("ShardOfHash(%d shards) = %d, ShardedStore says %d", shards, got, want)
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		S := petri.NumFrontierShards(workers)
+		if S&(S-1) != 0 || (workers <= 64 && S < workers) {
+			t.Fatalf("NumFrontierShards(%d) = %d not a usable power of two", workers, S)
+		}
+		covered := make([]bool, workers)
+		for s := 0; s < S; s++ {
+			ow := petri.ShardOwner(uint32(s), S, workers)
+			if ow < 0 || ow >= workers {
+				t.Fatalf("ShardOwner(%d, %d, %d) = %d out of range", s, S, workers, ow)
+			}
+			covered[ow] = true
+		}
+		for w, ok := range covered {
+			if !ok {
+				t.Fatalf("worker %d owns no shard of %d/%d", w, S, workers)
+			}
+		}
+	}
+}

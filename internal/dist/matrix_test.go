@@ -1,0 +1,268 @@
+package dist_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/petri"
+)
+
+// The determinism matrix: every execution strategy of the exploration —
+// serial, in-process frontier goroutines, and real spawned worker
+// processes — must produce byte-identical schedules, generated C and
+// reachability results. These tests spawn actual OS processes
+// (dist.SpawnLocal re-executes this test binary; TestMain routes the
+// children into dist.MaybeWorker), so they cover the wire protocol,
+// replica reconstruction and coordinator merge end to end, under -race
+// when the harness runs with it.
+
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// fingerprint renders everything downstream consumers depend on: task
+// names, generated C, guaranteed bounds and the full schedule text.
+func fingerprint(t *testing.T, r *core.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	names := make([]string, 0, len(r.Code))
+	for name := range r.Code {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "== task %s ==\n%s", name, r.Code[name])
+	}
+	fmt.Fprintf(&sb, "bounds %v\n", r.Bounds)
+	for _, s := range r.Schedules {
+		if err := s.Format(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+var matrixApps = []struct {
+	name  string
+	flowc string
+	spec  string
+}{
+	{"divisors", apps.Divisors, apps.DivisorsSpec},
+	{"pixelpipe", apps.PixelPipe, apps.PixelPipeSpec},
+	{"multirate", apps.MultiRate, apps.MultiRateSpec},
+	{"falsepath_fixed", apps.FalsePathFixed, apps.FalsePathFixedSpec},
+	{"pfc", apps.PFC, apps.PFCSpec},
+}
+
+// matrixConfig is one execution strategy. procs > 0 spawns that many
+// worker processes; otherwise ew is the in-process ExploreWorkers
+// value (1 = plain serial).
+type matrixConfig struct {
+	name  string
+	ew    int
+	procs int
+}
+
+var matrixConfigs = []matrixConfig{
+	{name: "serial", ew: 1},
+	{name: "explore-workers-1", ew: 1},
+	{name: "explore-workers-4", ew: 4},
+	{name: "explore-workers-8", ew: 8},
+	{name: "dist-procs-1", procs: 1},
+	{name: "dist-procs-2", procs: 2},
+	{name: "dist-procs-4", procs: 4},
+}
+
+// TestDeterminismMatrix: byte-identical generated C and schedules for
+// every example app across {serial, ExploreWorkers in {1,4,8}, worker
+// processes in {1,2,4}}.
+func TestDeterminismMatrix(t *testing.T) {
+	want := make(map[string]string, len(matrixApps))
+	for _, app := range matrixApps {
+		r, err := core.Synthesize(app.flowc, app.spec, &core.Options{Workers: 1, ExploreWorkers: 1, DisableCache: true})
+		if err != nil {
+			t.Fatalf("serial %s: %v", app.name, err)
+		}
+		want[app.name] = fingerprint(t, r)
+	}
+	for _, cfg := range matrixConfigs[1:] {
+		t.Run(cfg.name, func(t *testing.T) {
+			opt := &core.Options{Workers: 1, ExploreWorkers: cfg.ew, DisableCache: true}
+			if cfg.procs > 0 {
+				pool, err := dist.SpawnLocal(cfg.procs)
+				if err != nil {
+					t.Fatalf("spawn %d workers: %v", cfg.procs, err)
+				}
+				defer pool.Close()
+				opt = &core.Options{Workers: 1, Dist: pool, DisableCache: true}
+			}
+			for _, app := range matrixApps {
+				r, err := core.Synthesize(app.flowc, app.spec, opt)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", app.name, cfg.name, err)
+				}
+				if got := fingerprint(t, r); got != want[app.name] {
+					t.Errorf("%s under %s: output differs from serial\n%s",
+						app.name, cfg.name, firstDiff(want[app.name], got))
+				}
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  serial: %q\n  this:   %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(wl), len(gl))
+}
+
+// TestReachMatrix: petri-level ReachResult ordering — markings, edges,
+// clip flags — is byte-identical across serial, in-process parallel
+// and worker-process exploration, including under budget truncation.
+func TestReachMatrix(t *testing.T) {
+	nets := []struct {
+		name string
+		net  *petri.Net
+		opt  petri.ExploreOptions
+	}{
+		{"product-space", productNet(3, 4), petri.ExploreOptions{MaxMarkings: 200}},
+		{"pfc-capped", linkedPFCNet(t), petri.ExploreOptions{MaxMarkings: 3000, MaxTokensPerPlace: 2, FireSources: true}},
+		{"pfc-truncated", linkedPFCNet(t), petri.ExploreOptions{MaxMarkings: 111, MaxTokensPerPlace: 2, FireSources: true}},
+	}
+	for _, tc := range nets {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.net.Explore(tc.opt)
+			for _, w := range []int{1, 4, 8} {
+				opt := tc.opt
+				opt.Workers = w
+				assertSameReach(t, fmt.Sprintf("workers=%d", w), want, tc.net.Explore(opt))
+			}
+			for _, procs := range []int{1, 2, 4} {
+				pool, err := dist.SpawnLocal(procs)
+				if err != nil {
+					t.Fatalf("spawn %d workers: %v", procs, err)
+				}
+				got, err := tc.net.ExploreDist(pool, tc.opt)
+				pool.Close()
+				if err != nil {
+					t.Fatalf("ExploreDist(%d procs): %v", procs, err)
+				}
+				assertSameReach(t, fmt.Sprintf("procs=%d", procs), want, got)
+			}
+		})
+	}
+}
+
+func assertSameReach(t *testing.T, label string, want, got *petri.ReachResult) {
+	t.Helper()
+	if want.Len() != got.Len() || want.Truncated != got.Truncated {
+		t.Fatalf("%s: %d states/truncated=%v, want %d/%v", label, got.Len(), got.Truncated, want.Len(), want.Truncated)
+	}
+	for id := 0; id < want.Len(); id++ {
+		if !want.MarkingAt(petri.MarkID(id)).Equal(got.MarkingAt(petri.MarkID(id))) {
+			t.Fatalf("%s: marking %d differs", label, id)
+		}
+		if want.Clipped[id] != got.Clipped[id] {
+			t.Fatalf("%s: clipped[%d] differs", label, id)
+		}
+		we, ge := want.Edges[id], got.Edges[id]
+		if len(we) != len(ge) {
+			t.Fatalf("%s: state %d edge counts differ", label, id)
+		}
+		for k := range we {
+			if we[k] != ge[k] {
+				t.Fatalf("%s: state %d edge %d differs", label, id, k)
+			}
+		}
+	}
+}
+
+// productNet: independent token rings whose reachable space is the
+// product of ring positions.
+func productNet(pipes, stages int) *petri.Net {
+	n := petri.New(fmt.Sprintf("product-%dx%d", pipes, stages))
+	for p := 0; p < pipes; p++ {
+		var ps []*petri.Place
+		for s := 0; s < stages; s++ {
+			init := 0
+			if s == 0 {
+				init = 1
+			}
+			ps = append(ps, n.AddPlace(fmt.Sprintf("r%d_%d", p, s), petri.PlaceInternal, init))
+		}
+		for s := 0; s < stages; s++ {
+			t := n.AddTransition(fmt.Sprintf("t%d_%d", p, s), petri.TransNormal)
+			n.AddArc(ps[s], t, 1)
+			n.AddArcTP(t, ps[(s+1)%stages], 1)
+		}
+	}
+	return n
+}
+
+// linkedPFCNet compiles and links the PFC application, returning its
+// system net — a realistic multi-process net with SELECT choice
+// structure for the reachability matrix.
+func linkedPFCNet(t *testing.T) *petri.Net {
+	t.Helper()
+	r, err := apps.SynthesizePFC()
+	if err != nil {
+		t.Fatalf("synthesize pfc: %v", err)
+	}
+	return r.Sys.Net
+}
+
+// sweepConfig keeps the 50-app corpus sweep light enough for -race on
+// a small container while still covering every generator pattern.
+func sweepConfig() corpus.Config {
+	cfg := corpus.DefaultConfig()
+	cfg.MaxPipelines = 2
+	cfg.MaxStages = 2
+	cfg.MaxOps = 2
+	cfg.MaxWidth = 2
+	return cfg
+}
+
+// TestCorpusSweepDist: a 50-app randomized corpus synthesizes to
+// byte-identical code under serial and cross-process exploration (the
+// acceptance sweep; the named-app matrix above covers the full config
+// cross product).
+func TestCorpusSweepDist(t *testing.T) {
+	appsList := corpus.GenerateCorpus(1234, 50, sweepConfig())
+	pool, err := dist.SpawnLocal(2)
+	if err != nil {
+		t.Fatalf("spawn workers: %v", err)
+	}
+	defer pool.Close()
+	serialOpt := &core.Options{Workers: 1, ExploreWorkers: 1, DisableCache: true}
+	distOpt := &core.Options{Workers: 1, Dist: pool, DisableCache: true}
+	for i, app := range appsList {
+		want, serr := core.Synthesize(app.FlowC, app.Spec, serialOpt)
+		got, derr := core.Synthesize(app.FlowC, app.Spec, distOpt)
+		if (serr == nil) != (derr == nil) {
+			t.Fatalf("app %d (%s): serial err %v, dist err %v", i, app.Name, serr, derr)
+		}
+		if serr != nil {
+			// Both failed: the failure itself must be deterministic.
+			if serr.Error() != derr.Error() {
+				t.Fatalf("app %d (%s): divergent errors\n serial: %v\n dist:   %v", i, app.Name, serr, derr)
+			}
+			continue
+		}
+		if fw, fg := fingerprint(t, want), fingerprint(t, got); fw != fg {
+			t.Errorf("app %d (%s): dist output differs from serial\n%s", i, app.Name, firstDiff(fw, fg))
+		}
+	}
+}

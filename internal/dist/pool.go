@@ -1,0 +1,432 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/petri"
+)
+
+// Pool is a coordinator's set of connected worker processes. It
+// implements petri.FrontierRunner: each RunFrontier call is one
+// exploration session sharded across the pool. A Pool serializes
+// sessions internally, so it may be shared by sequential (or
+// mutex-ordered) callers; Close tears the workers down.
+type Pool struct {
+	mu      sync.Mutex
+	workers []*conn
+	cmds    []*exec.Cmd // spawned locally; empty for Listen pools
+	dir     string      // socket tempdir of a SpawnLocal pool
+	broken  error       // first infrastructure failure; poisons the pool
+	closed  bool
+	logw    *logWriter
+	stats   SessionStats
+}
+
+// SessionStats describes the last completed exploration session —
+// the protocol cost the benchmarks report.
+type SessionStats struct {
+	Levels    int
+	States    int
+	BytesSent int64 // coordinator -> workers (init, deltas)
+	BytesRecv int64 // workers -> coordinator (candidate streams)
+}
+
+// spawnHandshakeTimeout bounds how long SpawnLocal waits for each
+// spawned worker to connect and greet. Its main job is failing fast
+// when the re-executed binary does not call MaybeWorker.
+const spawnHandshakeTimeout = 30 * time.Second
+
+// listenHandshakeTimeout is the per-worker accept deadline for
+// externally started workers (cmd/qssd): humans start those by hand,
+// possibly compiling first, so the window is generous.
+const listenHandshakeTimeout = 5 * time.Minute
+
+// SpawnLocal starts n worker processes by re-executing the current
+// binary (which must call MaybeWorker early; see its doc) connected
+// over a unix socket in a private temp directory, and returns the
+// ready pool. The workers inherit the parent's environment, so
+// QSS_DIST_LOGDIR propagates.
+func SpawnLocal(n int) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: SpawnLocal needs >= 1 worker, got %d", n)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: resolve executable: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "qssdist-")
+	if err != nil {
+		return nil, err
+	}
+	sock := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	defer ln.Close()
+	p := &Pool{dir: dir, logw: newLogWriter("coord")}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			EnvWorker+"=1",
+			EnvEndpoint+"=unix:"+sock,
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("dist: spawn worker %d: %w", i, err)
+		}
+		p.cmds = append(p.cmds, cmd)
+	}
+	if err := p.accept(ln, n, spawnHandshakeTimeout); err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.logw.printf("spawned %d local workers over %s", n, sock)
+	return p, nil
+}
+
+// Listen awaits n externally started workers (cmd/qssd -connect) at the
+// endpoint ("unix:/path", "tcp:host:port", or a bare unix path) and
+// returns the ready pool. The workers' lifecycle belongs to whoever
+// started them; Close only drops the connections.
+func Listen(endpoint string, n int) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: Listen needs >= 1 worker, got %d", n)
+	}
+	network, addr, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	p := &Pool{logw: newLogWriter("coord")}
+	if err := p.accept(ln, n, listenHandshakeTimeout); err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.logw.printf("accepted %d workers at %s", n, endpoint)
+	return p, nil
+}
+
+// accept gathers n hello-ing workers from the listener. The deadline
+// applies per worker (reset before each Accept), so a slowly assembled
+// external pool is not cut off by the earlier arrivals' wait.
+func (p *Pool) accept(ln net.Listener, n int, timeout time.Duration) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	d, hasDeadline := ln.(deadliner)
+	for len(p.workers) < n {
+		if hasDeadline {
+			d.SetDeadline(time.Now().Add(timeout))
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist: waiting for worker %d/%d: %w", len(p.workers)+1, n, err)
+		}
+		c := newConn(nc)
+		nc.SetDeadline(time.Now().Add(timeout))
+		payload, err := c.expect(msgHello)
+		if err == nil {
+			err = checkHello(payload)
+		}
+		if err != nil {
+			nc.Close()
+			return fmt.Errorf("dist: worker handshake: %w", err)
+		}
+		nc.SetDeadline(time.Time{})
+		p.workers = append(p.workers, c)
+	}
+	return nil
+}
+
+// NumWorkers returns the pool size.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// LastSessionStats returns the protocol accounting of the most recently
+// completed RunFrontier session.
+func (p *Pool) LastSessionStats() SessionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close ends every worker connection (workers exit on EOF), reaps
+// locally spawned processes and removes the socket directory.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, c := range p.workers {
+		c.close()
+	}
+	var firstErr error
+	for _, cmd := range p.cmds {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("dist: worker %d exited: %w", cmd.Process.Pid, err)
+			}
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: worker %d hung at close; killed", cmd.Process.Pid)
+			}
+		}
+	}
+	if p.dir != "" {
+		os.RemoveAll(p.dir)
+	}
+	return firstErr
+}
+
+// RunFrontier implements petri.FrontierRunner: one exploration session
+// over the pool. The coordinator broadcasts the net, spec and roots,
+// then per level ships the delta batch, gathers every worker's
+// candidate stream, and performs the sequential first-discovery merge —
+// walking frontier states in MarkID order and each state's candidates
+// in the serial emit order — so the hooks observe exactly the serial
+// loop's sequence and the numbering is byte-identical for every worker
+// count. Returns false when a Reject hook aborted; a non-nil error is
+// an infrastructure failure and poisons the pool.
+func (p *Pool) RunFrontier(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (completed bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false, errors.New("dist: pool is closed")
+	}
+	if p.broken != nil {
+		return false, fmt.Errorf("dist: pool failed earlier: %w", p.broken)
+	}
+	completed, err = p.runSession(n, store, spec, hooks)
+	if err != nil {
+		p.broken = err
+		p.logw.printf("session failed: %v", err)
+	}
+	return completed, err
+}
+
+func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (bool, error) {
+	W := len(p.workers)
+	S := petri.NumFrontierShards(W)
+	roots := make([]petri.Marking, store.Len())
+	for i := range roots {
+		roots[i] = store.At(petri.MarkID(i))
+	}
+	start0 := startBytes(p.workers)
+	for i, c := range p.workers {
+		init := &initMsg{index: i, workers: W, shards: S, net: n, spec: spec, roots: roots}
+		if err := c.send(msgInit, appendInit(nil, init)); err != nil {
+			return false, fmt.Errorf("dist: init worker %d: %w", i, err)
+		}
+	}
+	p.stats = SessionStats{}
+	var (
+		deltas  []petri.Delta
+		scratch petri.Marking
+		payload = make([]byte, 0, 1<<12)
+		streams = make([]resultStream, W)
+	)
+	finish := func(completed bool) (bool, error) {
+		for i, c := range p.workers {
+			if err := c.send(msgDone, nil); err != nil {
+				return false, fmt.Errorf("dist: finish worker %d: %w", i, err)
+			}
+		}
+		p.stats.States = store.Len()
+		p.stats.BytesSent, p.stats.BytesRecv = sentRecvSince(p.workers, start0)
+		p.logw.printf("session %s: %d levels, %d states, %dB sent, %dB received (completed=%v)",
+			n.Name, p.stats.Levels, p.stats.States, p.stats.BytesSent, p.stats.BytesRecv, completed)
+		return completed, nil
+	}
+	for levelStart := 0; ; {
+		levelEnd := store.Len()
+		if levelStart == levelEnd {
+			return finish(true)
+		}
+		payload = appendExpand(payload[:0], levelStart, levelEnd, deltas)
+		for i, c := range p.workers {
+			if err := c.send(msgExpand, payload); err != nil {
+				return false, fmt.Errorf("dist: expand to worker %d: %w", i, err)
+			}
+		}
+		// Gather every stream before merging: the merge interleaves them
+		// by state ownership. Reads are sequential — the workers compute
+		// concurrently regardless, since the broadcast already happened.
+		for i, c := range p.workers {
+			buf, err := c.expect(msgResult)
+			if err != nil {
+				return false, fmt.Errorf("dist: result from worker %d: %w", i, err)
+			}
+			if err := streams[i].reset(buf); err != nil {
+				return false, fmt.Errorf("dist: result from worker %d: %w", i, err)
+			}
+		}
+		// Sequential first-discovery merge, exactly phase C of
+		// petri.RunFrontier.
+		deltas = deltas[:0]
+		for id := levelStart; id < levelEnd; id++ {
+			ow := petri.ShardOwner(petri.ShardOfHash(store.HashAt(petri.MarkID(id)), S), S, W)
+			cands, err := streams[ow].nextState(id)
+			if err != nil {
+				return false, fmt.Errorf("dist: worker %d stream: %w", ow, err)
+			}
+			if hooks.BeginState != nil {
+				hooks.BeginState(petri.MarkID(id))
+			}
+			for k := 0; k < cands; k++ {
+				tag, trans, known, err := streams[ow].nextCand()
+				if err != nil {
+					return false, fmt.Errorf("dist: worker %d stream: %w", ow, err)
+				}
+				if trans < 0 || trans >= len(n.Transitions) {
+					return false, fmt.Errorf("dist: worker %d: candidate transition %d out of range", ow, trans)
+				}
+				switch tag {
+				case candVeto:
+					if !hooks.Reject(petri.MarkID(id), int32(trans), false) {
+						return finish(false)
+					}
+				case candKnown:
+					if int(known) >= levelEnd {
+						return false, fmt.Errorf("dist: worker %d: known state %d beyond frontier %d", ow, known, levelEnd)
+					}
+					hooks.Edge(petri.MarkID(id), int32(trans), known, false)
+				case candNew:
+					t := n.Transitions[trans]
+					m := store.At(petri.MarkID(id))
+					if !m.Enabled(t) {
+						return false, fmt.Errorf("dist: worker %d: candidate fires disabled %s at state %d", ow, t.Name, id)
+					}
+					scratch = m.FireInto(scratch, t)
+					if spec.Veto(scratch) {
+						return false, fmt.Errorf("dist: worker %d: new candidate of state %d via %s exceeds the place caps — worker/coordinator spec mismatch", ow, id, t.Name)
+					}
+					h := petri.HashMarking(scratch)
+					if g, ok := store.LookupHashed(scratch, h); ok {
+						hooks.Edge(petri.MarkID(id), int32(trans), g, false)
+						continue
+					}
+					if hooks.Admit != nil && !hooks.Admit() {
+						if !hooks.Reject(petri.MarkID(id), int32(trans), true) {
+							return finish(false)
+						}
+						continue
+					}
+					g, _ := store.InternHashed(scratch, h)
+					deltas = append(deltas, petri.Delta{Parent: petri.MarkID(id), Trans: int32(trans)})
+					hooks.Edge(petri.MarkID(id), int32(trans), g, true)
+				default:
+					return false, fmt.Errorf("dist: worker %d: unknown candidate tag %d", ow, tag)
+				}
+			}
+		}
+		for i := range streams {
+			if err := streams[i].done(); err != nil {
+				return false, fmt.Errorf("dist: worker %d stream: %w", i, err)
+			}
+		}
+		p.stats.Levels++
+		levelStart = levelEnd
+	}
+}
+
+func startBytes(ws []*conn) (totals [2]int64) {
+	for _, c := range ws {
+		totals[0] += c.sent
+		totals[1] += c.received
+	}
+	return totals
+}
+
+func sentRecvSince(ws []*conn, start [2]int64) (sent, recv int64) {
+	now := startBytes(ws)
+	return now[0] - start[0], now[1] - start[1]
+}
+
+// resultStream is a cursor over one worker's per-level candidate
+// payload.
+type resultStream struct {
+	buf       []byte
+	remaining int // owned states left
+	cands     int // candidates left within the current state
+}
+
+func (s *resultStream) reset(buf []byte) error {
+	n, rest, err := decodeUvarint(buf)
+	if err != nil {
+		return fmt.Errorf("state count: %w", err)
+	}
+	s.buf, s.remaining, s.cands = rest, int(n), 0
+	return nil
+}
+
+// nextState positions the stream at the given owned state and returns
+// its candidate count.
+func (s *resultStream) nextState(want int) (int, error) {
+	if s.cands != 0 {
+		return 0, fmt.Errorf("previous state has %d unread candidates", s.cands)
+	}
+	if s.remaining == 0 {
+		return 0, fmt.Errorf("stream exhausted before state %d", want)
+	}
+	id, rest, err := decodeUvarint(s.buf)
+	if err != nil {
+		return 0, fmt.Errorf("state id: %w", err)
+	}
+	if int(id) != want {
+		return 0, fmt.Errorf("stream has state %d, merge expects %d", id, want)
+	}
+	n, rest, err := decodeUvarint(rest)
+	if err != nil {
+		return 0, fmt.Errorf("candidate count: %w", err)
+	}
+	s.buf, s.remaining, s.cands = rest, s.remaining-1, int(n)
+	return int(n), nil
+}
+
+func (s *resultStream) nextCand() (tag int, trans int, known petri.MarkID, err error) {
+	if s.cands == 0 {
+		return 0, 0, 0, fmt.Errorf("no candidates left in state")
+	}
+	v, rest, err := decodeUvarint(s.buf)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("candidate: %w", err)
+	}
+	tag, trans = int(v&3), int(v>>2)
+	if tag == candKnown {
+		var g uint64
+		g, rest, err = decodeUvarint(rest)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("known id: %w", err)
+		}
+		known = petri.MarkID(g)
+	}
+	s.buf, s.cands = rest, s.cands-1
+	return tag, trans, known, nil
+}
+
+// done verifies the level's stream was fully consumed.
+func (s *resultStream) done() error {
+	if s.remaining != 0 || s.cands != 0 || len(s.buf) != 0 {
+		return fmt.Errorf("stream not fully consumed (%d states, %d candidates, %d bytes left)", s.remaining, s.cands, len(s.buf))
+	}
+	return nil
+}

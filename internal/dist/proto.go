@@ -1,0 +1,293 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/petri"
+)
+
+// Length-prefixed binary framing. Every message is a 4-byte
+// little-endian payload length, a 1-byte type, and the payload —
+// varint-encoded via the petri wire helpers. The protocol is strictly
+// coordinator-driven: workers speak only when spoken to (hello on
+// connect, one result per expand), so neither side ever needs to
+// multiplex.
+
+const (
+	protoMagic   = "qssd"
+	protoVersion = 1
+	// maxFrame bounds a single message payload; a level's candidate
+	// stream is the largest message and stays far below this for any
+	// exploration that fits in memory.
+	maxFrame = 1 << 30
+)
+
+// Message types.
+const (
+	msgHello  byte = 1 // worker -> coordinator, on connect
+	msgInit   byte = 2 // coordinator -> worker, session start
+	msgExpand byte = 3 // coordinator -> worker, one level
+	msgResult byte = 4 // worker -> coordinator, one level's candidates
+	msgDone   byte = 5 // coordinator -> worker, session end
+	msgError  byte = 6 // either direction, carries a message string
+)
+
+// Candidate tags within a result stream.
+const (
+	candVeto  = 0 // successor beyond the spec caps
+	candKnown = 1 // successor already interned in the replica
+	candNew   = 2 // successor unknown to the replica; coordinator resolves
+)
+
+// conn wraps a net.Conn with buffered framing and traffic accounting.
+type conn struct {
+	rw       io.ReadWriteCloser
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	sent     int64
+	received int64
+	scratch  []byte
+}
+
+func newConn(rw io.ReadWriteCloser) *conn {
+	return &conn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16), bw: bufio.NewWriterSize(rw, 1<<16)}
+}
+
+func (c *conn) close() error { return c.rw.Close() }
+
+// send frames and flushes one message.
+func (c *conn) send(typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: message type %d payload %d exceeds frame limit", typ, len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	c.sent += int64(len(hdr)) + int64(len(payload))
+	return c.bw.Flush()
+}
+
+// recv reads one message into the connection's scratch buffer; the
+// returned payload is valid until the next recv.
+func (c *conn) recv() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame length %d exceeds limit", n)
+	}
+	if cap(c.scratch) < int(n) {
+		c.scratch = make([]byte, n)
+	}
+	c.scratch = c.scratch[:n]
+	if _, err := io.ReadFull(c.br, c.scratch); err != nil {
+		return 0, nil, err
+	}
+	c.received += int64(len(hdr)) + int64(n)
+	return hdr[4], c.scratch, nil
+}
+
+// expect receives one message and requires the given type; a msgError
+// from the peer is surfaced as its carried error.
+func (c *conn) expect(typ byte) ([]byte, error) {
+	got, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if got == msgError {
+		return nil, fmt.Errorf("dist: peer error: %s", payload)
+	}
+	if got != typ {
+		return nil, fmt.Errorf("dist: unexpected message type %d (want %d)", got, typ)
+	}
+	return payload, nil
+}
+
+func (c *conn) sendHello() error {
+	return c.send(msgHello, binary.AppendUvarint([]byte(protoMagic), protoVersion))
+}
+
+func checkHello(payload []byte) error {
+	if len(payload) < len(protoMagic) || string(payload[:len(protoMagic)]) != protoMagic {
+		return fmt.Errorf("dist: bad hello magic")
+	}
+	v, n := binary.Uvarint(payload[len(protoMagic):])
+	if n <= 0 || v != protoVersion {
+		return fmt.Errorf("dist: protocol version %d (want %d)", v, protoVersion)
+	}
+	return nil
+}
+
+// initMsg is the decoded session-start payload.
+type initMsg struct {
+	index, workers, shards int
+	net                    *petri.Net
+	spec                   petri.ExpandSpec
+	roots                  []petri.Marking
+}
+
+func appendInit(dst []byte, m *initMsg) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.index))
+	dst = binary.AppendUvarint(dst, uint64(m.workers))
+	dst = binary.AppendUvarint(dst, uint64(m.shards))
+	dst = petri.AppendNet(dst, m.net)
+	dst = binary.AppendUvarint(dst, uint64(len(m.spec.Mask)))
+	for _, w := range m.spec.Mask {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.spec.Caps)))
+	for _, cp := range m.spec.Caps {
+		// Caps are >= -1; shift by one so "unbounded" encodes as 0.
+		dst = binary.AppendUvarint(dst, uint64(cp+1))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.roots)))
+	for _, r := range m.roots {
+		dst = petri.AppendMarking(dst, r)
+	}
+	return dst
+}
+
+func decodeInit(buf []byte) (*initMsg, error) {
+	m := &initMsg{}
+	var err error
+	u := func() uint64 {
+		var v uint64
+		if err == nil {
+			v, buf, err = decodeUvarint(buf)
+		}
+		return v
+	}
+	m.index, m.workers, m.shards = int(u()), int(u()), int(u())
+	if err != nil {
+		return nil, fmt.Errorf("dist: init header: %w", err)
+	}
+	if m.workers < 1 || m.index < 0 || m.index >= m.workers || m.shards < 1 {
+		return nil, fmt.Errorf("dist: init header out of range (index %d, workers %d, shards %d)", m.index, m.workers, m.shards)
+	}
+	m.net, buf, err = petri.DecodeNet(buf)
+	if err != nil {
+		return nil, err
+	}
+	nm := u()
+	if err == nil && nm*8 > uint64(len(buf)) {
+		err = fmt.Errorf("mask length %d exceeds payload", nm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: init mask: %w", err)
+	}
+	m.spec.Mask = make([]uint64, nm)
+	for i := range m.spec.Mask {
+		m.spec.Mask[i] = binary.LittleEndian.Uint64(buf[:8])
+		buf = buf[8:]
+	}
+	nc := u()
+	if err == nil && nc > uint64(len(buf)) {
+		err = fmt.Errorf("caps length %d exceeds payload", nc)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: init caps: %w", err)
+	}
+	m.spec.Caps = make([]int, nc)
+	for i := range m.spec.Caps {
+		m.spec.Caps[i] = int(u()) - 1
+	}
+	nr := u()
+	if err == nil && nr > uint64(len(buf)) {
+		err = fmt.Errorf("root count %d exceeds payload", nr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: init roots: %w", err)
+	}
+	for i := uint64(0); i < nr; i++ {
+		var r petri.Marking
+		r, buf, err = petri.DecodeMarking(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dist: init root %d: %w", i, err)
+		}
+		m.roots = append(m.roots, r)
+	}
+	return m, nil
+}
+
+// expandMsg is the decoded per-level payload: the frontier id range and
+// the delta batch creating it (empty on the first level, whose states
+// arrived as init roots).
+type expandMsg struct {
+	start, end int
+	deltas     []petri.Delta
+}
+
+func appendExpand(dst []byte, start, end int, deltas []petri.Delta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(start))
+	dst = binary.AppendUvarint(dst, uint64(end))
+	return petri.AppendDeltas(dst, deltas)
+}
+
+func decodeExpand(buf []byte, deltas []petri.Delta) (*expandMsg, []petri.Delta, error) {
+	s, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, deltas, fmt.Errorf("dist: expand start: %w", err)
+	}
+	e, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, deltas, fmt.Errorf("dist: expand end: %w", err)
+	}
+	deltas, _, err = petri.DecodeDeltas(deltas[:0], buf)
+	if err != nil {
+		return nil, deltas, err
+	}
+	return &expandMsg{start: int(s), end: int(e), deltas: deltas}, deltas, nil
+}
+
+func decodeUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated or overlong varint")
+	}
+	return v, buf[n:], nil
+}
+
+// logWriter is the shared, optionally file-backed logger: when
+// QSS_DIST_LOGDIR is set, each process writes its own
+// <role>-<pid>.log there (the CI determinism job uploads the directory
+// on failure); otherwise output goes to the fallback writer — discard
+// for coordinators and SpawnLocal workers (whose stderr is the
+// parent's), stderr for the standalone qssd worker.
+type logWriter struct {
+	l *log.Logger
+}
+
+func newLogWriter(role string) *logWriter { return newLogWriterTo(role, io.Discard) }
+
+func newLogWriterTo(role string, fallback io.Writer) *logWriter {
+	w := fallback
+	if dir := os.Getenv(EnvLogDir); dir != "" {
+		f, err := os.OpenFile(
+			filepath.Join(dir, fmt.Sprintf("%s-%d.log", role, os.Getpid())),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			w = f
+		}
+	}
+	return &logWriter{l: log.New(w, fmt.Sprintf("dist %s %d: ", role, os.Getpid()), log.LstdFlags|log.Lmicroseconds)}
+}
+
+func (lw *logWriter) printf(format string, args ...any) {
+	if lw != nil && lw.l != nil {
+		lw.l.Printf(format, args...)
+	}
+}

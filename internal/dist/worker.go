@@ -1,0 +1,258 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/petri"
+)
+
+// Worker side: a replica of the exploration state plus the serve loop.
+//
+// A worker holds the full store and enabled-set arena, rebuilt from the
+// per-level delta broadcasts, so every worker agrees with the
+// coordinator about dense MarkIDs without ever being told them
+// explicitly. It expands exactly the frontier states whose shard it
+// owns and classifies each successor as veto / known / new; ordering
+// decisions stay with the coordinator.
+
+// replica is one session's worker-side state.
+type replica struct {
+	net     *petri.Net
+	part    []*petri.ECS
+	tracker *petri.EnabledTracker
+	stride  int
+	spec    petri.ExpandSpec
+	store   *petri.MarkingStore
+	bits    []uint64
+	scratch petri.Marking
+
+	index, workers, shards int
+}
+
+func newReplica(m *initMsg) (*replica, error) {
+	r := &replica{
+		net:     m.net,
+		spec:    m.spec,
+		index:   m.index,
+		workers: m.workers,
+		shards:  m.shards,
+		store:   petri.NewMarkingStore(len(m.net.Places)),
+	}
+	r.part = r.net.ECSPartition()
+	r.tracker = petri.NewEnabledTracker(r.net, r.part)
+	r.stride = r.tracker.Stride()
+	if len(m.spec.Mask) != r.stride {
+		return nil, fmt.Errorf("dist: spec mask has %d words, partition needs %d — net round-trip mismatch", len(m.spec.Mask), r.stride)
+	}
+	if len(m.spec.Caps) != len(r.net.Places) {
+		return nil, fmt.Errorf("dist: spec caps cover %d places, net has %d", len(m.spec.Caps), len(r.net.Places))
+	}
+	for i, root := range m.roots {
+		if len(root) != len(r.net.Places) {
+			return nil, fmt.Errorf("dist: root %d has %d places, net has %d", i, len(root), len(r.net.Places))
+		}
+		id, isNew := r.store.Intern(root)
+		if !isNew || int(id) != i {
+			return nil, fmt.Errorf("dist: duplicate root %d", i)
+		}
+		r.bits = append(r.bits, make([]uint64, r.stride)...)
+		r.tracker.Init(r.bits[i*r.stride:(i+1)*r.stride], root)
+	}
+	return r, nil
+}
+
+// owns reports whether this worker's shard range contains state id.
+func (r *replica) owns(id petri.MarkID) bool {
+	sh := petri.ShardOfHash(r.store.HashAt(id), r.shards)
+	return petri.ShardOwner(sh, r.shards, r.workers) == r.index
+}
+
+// applyDelta re-fires one (parent, trans) discovery, growing the store
+// and the enabled-set arena exactly as the coordinator's merge did.
+func (r *replica) applyDelta(d petri.Delta) error {
+	if int(d.Parent) >= r.store.Len() {
+		return fmt.Errorf("dist: delta parent %d beyond store (%d states)", d.Parent, r.store.Len())
+	}
+	if int(d.Trans) < 0 || int(d.Trans) >= len(r.net.Transitions) {
+		return fmt.Errorf("dist: delta transition %d out of range", d.Trans)
+	}
+	t := r.net.Transitions[d.Trans]
+	m := r.store.At(d.Parent)
+	if !m.Enabled(t) {
+		return fmt.Errorf("dist: delta fires disabled transition %s at state %d", t.Name, d.Parent)
+	}
+	r.scratch = m.FireInto(r.scratch, t)
+	id, isNew := r.store.Intern(r.scratch)
+	if !isNew {
+		return fmt.Errorf("dist: delta (%d, %s) re-discovers state %d", d.Parent, t.Name, id)
+	}
+	base := len(r.bits)
+	r.bits = append(r.bits, make([]uint64, r.stride)...)
+	r.tracker.Update(r.bits[base:base+r.stride],
+		r.bits[int(d.Parent)*r.stride:(int(d.Parent)+1)*r.stride], int(d.Trans), r.store.At(id))
+	return nil
+}
+
+// expandLevel applies the level's deltas and expands the owned frontier
+// states, appending the result payload to dst.
+func (r *replica) expandLevel(dst []byte, msg *expandMsg) ([]byte, error) {
+	// The deltas must create exactly the frontier [start, end) on top of
+	// the current replica — except on the first level, whose frontier is
+	// the roots that arrived with init (no deltas).
+	firstLevel := len(msg.deltas) == 0 && msg.start == 0 && msg.end == r.store.Len()
+	if !firstLevel && (msg.start != r.store.Len() || len(msg.deltas) != msg.end-msg.start) {
+		return nil, fmt.Errorf("dist: expand range [%d,%d) with %d deltas does not extend store of %d states",
+			msg.start, msg.end, len(msg.deltas), r.store.Len())
+	}
+	for _, d := range msg.deltas {
+		if err := r.applyDelta(d); err != nil {
+			return nil, err
+		}
+	}
+	if msg.end != r.store.Len() {
+		return nil, fmt.Errorf("dist: frontier end %d, store has %d states after deltas", msg.end, r.store.Len())
+	}
+	// Count owned states first: the payload leads with the count.
+	owned := 0
+	for id := msg.start; id < msg.end; id++ {
+		if r.owns(petri.MarkID(id)) {
+			owned++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(owned))
+	for id := msg.start; id < msg.end; id++ {
+		if !r.owns(petri.MarkID(id)) {
+			continue
+		}
+		dst = r.expandState(dst, petri.MarkID(id))
+	}
+	return dst, nil
+}
+
+// expandState emits one owned state's candidate stream: the fireable
+// enabled ECSs in partition order, members in ascending transition
+// order — the serial loop's emit order, which the coordinator's merge
+// depends on.
+func (r *replica) expandState(dst []byte, id petri.MarkID) []byte {
+	m := r.store.At(id)
+	bits := r.bits[int(id)*r.stride : (int(id)+1)*r.stride]
+	// First pass counts candidates (the stream is length-prefixed);
+	// enabled-set iteration is two bit scans, firing happens once.
+	cands := 0
+	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
+		cands += len(r.part[ei].Trans)
+	})
+	dst = binary.AppendUvarint(dst, uint64(id))
+	dst = binary.AppendUvarint(dst, uint64(cands))
+	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
+		for _, tid := range r.part[ei].Trans {
+			r.scratch = m.FireInto(r.scratch, r.net.Transitions[tid])
+			switch gid, ok := r.classify(); {
+			case !ok:
+				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candVeto)
+			case gid != petri.NoMark:
+				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candKnown)
+				dst = binary.AppendUvarint(dst, uint64(gid))
+			default:
+				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candNew)
+			}
+		}
+	})
+	return dst
+}
+
+// classify resolves the scratch successor: ok=false for a cap veto,
+// otherwise the replica-known MarkID or NoMark for a first sighting.
+func (r *replica) classify() (petri.MarkID, bool) {
+	if r.spec.Veto(r.scratch) {
+		return petri.NoMark, false
+	}
+	if gid, ok := r.store.Lookup(r.scratch); ok {
+		return gid, true
+	}
+	return petri.NoMark, true
+}
+
+// ServeConn runs the worker side of a coordinator connection: hello,
+// then exploration sessions until the coordinator closes the
+// connection. It is the body of both spawned workers (MaybeWorker) and
+// the standalone cmd/qssd binary.
+func ServeConn(nc net.Conn, logw *logWriter) error {
+	c := newConn(nc)
+	if err := c.sendHello(); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := c.recv()
+		if err == io.EOF {
+			logw.printf("coordinator closed connection; exiting")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if typ != msgInit {
+			return workerFail(c, fmt.Errorf("dist: expected init, got message type %d", typ))
+		}
+		init, err := decodeInit(payload)
+		if err != nil {
+			return workerFail(c, err)
+		}
+		if err := serveSession(c, init, logw); err != nil {
+			return workerFail(c, err)
+		}
+	}
+}
+
+// serveSession runs one exploration: apply each level's deltas, expand
+// the owned slice of the frontier, reply, until done.
+func serveSession(c *conn, init *initMsg, logw *logWriter) error {
+	r, err := newReplica(init)
+	if err != nil {
+		return err
+	}
+	logw.printf("session start: net %s (%d places, %d transitions), worker %d/%d over %d shards, %d roots",
+		r.net.Name, len(r.net.Places), len(r.net.Transitions), r.index, r.workers, r.shards, r.store.Len())
+	levels := 0
+	var deltas []petri.Delta
+	var out []byte
+	for {
+		typ, payload, err := c.recv()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgDone:
+			logw.printf("session end: %d levels, %d states replicated", levels, r.store.Len())
+			return nil
+		case msgExpand:
+			var msg *expandMsg
+			msg, deltas, err = decodeExpand(payload, deltas)
+			if err != nil {
+				return err
+			}
+			out, err = r.expandLevel(out[:0], msg)
+			if err != nil {
+				return err
+			}
+			if err := c.send(msgResult, out); err != nil {
+				return err
+			}
+			levels++
+		case msgError:
+			return fmt.Errorf("dist: coordinator error: %s", payload)
+		default:
+			return fmt.Errorf("dist: unexpected message type %d in session", typ)
+		}
+	}
+}
+
+// workerFail reports the error to the coordinator (best effort) and
+// returns it.
+func workerFail(c *conn, err error) error {
+	_ = c.send(msgError, []byte(err.Error()))
+	return err
+}

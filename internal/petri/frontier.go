@@ -27,19 +27,12 @@ import "sync"
 // everything derived from them are identical for every worker count,
 // including the plain serial loop.
 
-// FrontierHooks supplies the exploration-specific behaviour of a
-// RunFrontier run. Expand is called concurrently; the remaining hooks
-// are called sequentially from phase C in deterministic order.
-type FrontierHooks struct {
-	// Expand generates the successors of one frontier state. It is
-	// called once per state, concurrently across states, with a worker
-	// index for scratch-buffer affinity. emit must be called once per
-	// outgoing edge attempt, in a deterministic per-state order; the
-	// child marking is copied during the call, so a reused scratch
-	// buffer may be passed. Emit a nil child for a successor vetoed by
-	// the caller (e.g. beyond a token cap): it surfaces as a Reject
-	// with budget=false.
-	Expand func(worker int, id MarkID, m Marking, emit func(trans int32, child Marking))
+// MergeHooks are the sequential hooks of a frontier exploration: they
+// run in the deterministic phase-C merge order regardless of how the
+// expansion was parallelized (goroutines in RunFrontier, or worker
+// processes behind a FrontierRunner), which is what makes state
+// numbering byte-identical across every execution strategy.
+type MergeHooks struct {
 	// BeginState is called for every frontier state in MarkID order,
 	// before any of its Edge/Reject calls. May be nil.
 	BeginState func(id MarkID)
@@ -55,6 +48,65 @@ type FrontierHooks struct {
 	// Admit-refused ones (budget=true). Returning false aborts the
 	// whole exploration; RunFrontier then returns false.
 	Reject func(parent MarkID, trans int32, budget bool) bool
+}
+
+// FrontierHooks supplies the exploration-specific behaviour of a
+// RunFrontier run. Expand is called concurrently; the embedded
+// MergeHooks are called sequentially from phase C in deterministic
+// order.
+type FrontierHooks struct {
+	// Expand generates the successors of one frontier state. It is
+	// called once per state, concurrently across states, with a worker
+	// index for scratch-buffer affinity. emit must be called once per
+	// outgoing edge attempt, in a deterministic per-state order; the
+	// child marking is copied during the call, so a reused scratch
+	// buffer may be passed. Emit a nil child for a successor vetoed by
+	// the caller (e.g. beyond a token cap): it surfaces as a Reject
+	// with budget=false.
+	Expand func(worker int, id MarkID, m Marking, emit func(trans int32, child Marking))
+	MergeHooks
+}
+
+// ExpandSpec is a self-contained, serializable description of how to
+// expand one frontier state: which ECSs of the net's partition may
+// fire, and the per-place token caps that veto successors. It captures
+// everything the in-process explorers' Expand closures know, so a
+// worker process holding only the net and the spec reproduces the
+// exact emit sequence (ECSs in partition order, members in ascending
+// transition order, out-of-cap successors vetoed).
+type ExpandSpec struct {
+	// Mask is the fireable-ECS bitset over the net's ECSPartition:
+	// enabled ECSs outside the mask are not fired (source exclusion,
+	// single-source filtering).
+	Mask []uint64
+	// Caps holds the per-place token cap; a successor marking any
+	// place beyond its cap is vetoed. A negative cap means unbounded.
+	Caps []int
+}
+
+// Veto reports whether the marking exceeds the spec's place caps.
+func (s *ExpandSpec) Veto(m Marking) bool {
+	for i, v := range m {
+		if c := s.Caps[i]; c >= 0 && v > c {
+			return true
+		}
+	}
+	return false
+}
+
+// FrontierRunner abstracts who performs the phase-A expansion of a
+// level-synchronous frontier exploration. The in-process RunFrontier
+// fans expansion out over goroutines; a distributed runner (package
+// internal/dist) ships the net and spec to worker processes owning
+// hash ranges of the marking space and feeds their candidate batches
+// through the same sequential merge. Implementations must invoke the
+// MergeHooks in exactly the serial discovery order (states ascending,
+// emit order within a state), so results are byte-identical to the
+// serial loop. The returned bool is false when a Reject hook aborted
+// the run; a non-nil error reports an infrastructure failure (a worker
+// died, the protocol broke) rather than an exploration outcome.
+type FrontierRunner interface {
+	RunFrontier(n *Net, store *MarkingStore, spec ExpandSpec, hooks MergeHooks) (bool, error)
 }
 
 // frontierCand is one edge attempt buffered between phases.
@@ -83,13 +135,7 @@ func RunFrontier(store *MarkingStore, workers int, hooks FrontierHooks) bool {
 	if workers < 1 {
 		workers = 1
 	}
-	nshards := 2
-	for nshards < 4*workers {
-		nshards <<= 1
-	}
-	if nshards > 256 {
-		nshards = 256
-	}
+	nshards := NumFrontierShards(workers)
 	places := store.Places()
 	sh := NewShardedStore(places, nshards)
 	nshards = sh.NumShards()

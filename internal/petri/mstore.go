@@ -94,6 +94,12 @@ func HashMarking(m Marking) uint64 {
 	return h
 }
 
+// HashAt returns the stored HashMarking value of an interned marking —
+// the store keeps every hash for table growth, so shard-ownership
+// decisions over interned states (frontier partitioning across workers)
+// never rehash the vector.
+func (s *MarkingStore) HashAt(id MarkID) uint64 { return s.hashes[id] }
+
 // Lookup returns the MarkID of m if it is interned. It never allocates.
 func (s *MarkingStore) Lookup(m Marking) (MarkID, bool) {
 	return s.LookupHashed(m, HashMarking(m))

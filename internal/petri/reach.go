@@ -80,6 +80,37 @@ func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 	if opt.DisableTracker {
 		return n.exploreFullScan(opt)
 	}
+	e := newReachExplorer(n, opt)
+	if opt.Workers > 1 {
+		e.exploreParallel()
+	} else {
+		e.exploreSerial()
+	}
+	return e.res
+}
+
+// ExploreDist is Explore with the frontier expansion delegated to the
+// given runner — typically a pool of worker processes owning hash
+// ranges of the marking space (internal/dist). The runner feeds the
+// same sequential merge the in-process paths use, so the ReachResult —
+// numbering, edges, flags — is byte-identical to Explore's for every
+// worker-process count. The error reports an infrastructure failure
+// (worker death, protocol corruption), never an exploration outcome.
+func (n *Net) ExploreDist(r FrontierRunner, opt ExploreOptions) (*ReachResult, error) {
+	if opt.MaxMarkings == 0 {
+		opt.MaxMarkings = 10000
+	}
+	e := newReachExplorer(n, opt)
+	if _, err := r.RunFrontier(n, e.res.Store, e.expandSpec(), e.mergeHooks()); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}
+
+// newReachExplorer builds the shared state of one exploration: result
+// store seeded with the initial marking, incremental tracker, and the
+// fireable-ECS mask (source ECSs excluded unless FireSources).
+func newReachExplorer(n *Net, opt ExploreOptions) *reachExplorer {
 	part := n.ECSPartition()
 	tr := NewEnabledTracker(n, part)
 	e := &reachExplorer{net: n, opt: opt, part: part, tracker: tr, stride: tr.Stride()}
@@ -90,8 +121,6 @@ func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 	e.res.Clipped = append(e.res.Clipped, false)
 	e.bits = make([]uint64, e.stride)
 	tr.Init(e.bits, m0)
-	// fireMask masks the per-state enabled sets down to the ECSs this
-	// exploration may fire (source ECSs excluded unless FireSources).
 	e.fireMask = make([]uint64, e.stride)
 	for _, E := range part {
 		if !opt.FireSources && E.IsSourceECS(n) {
@@ -99,12 +128,7 @@ func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 		}
 		e.fireMask[E.Index>>6] |= 1 << (uint(E.Index) & 63)
 	}
-	if opt.Workers > 1 {
-		e.exploreParallel()
-	} else {
-		e.exploreSerial()
-	}
-	return e.res
+	return e
 }
 
 // reachExplorer carries the shared state of one Explore call.
@@ -207,6 +231,31 @@ func (e *reachExplorer) exploreParallel() {
 				}
 			})
 		},
+		MergeHooks: e.mergeHooks(),
+	})
+}
+
+// expandSpec captures this exploration's expansion rule for a worker
+// process: the fireable mask plus the uniform token cap as a per-place
+// caps vector. A worker expanding under the spec emits exactly the
+// sequence the serial loop fires.
+func (e *reachExplorer) expandSpec() ExpandSpec {
+	caps := make([]int, len(e.net.Places))
+	for i := range caps {
+		if e.opt.MaxTokensPerPlace > 0 {
+			caps[i] = e.opt.MaxTokensPerPlace
+		} else {
+			caps[i] = -1
+		}
+	}
+	return ExpandSpec{Mask: e.fireMask, Caps: caps}
+}
+
+// mergeHooks returns the sequential phase-C hooks shared by the
+// in-process parallel path and the distributed runner — one definition,
+// so the two cannot drift apart.
+func (e *reachExplorer) mergeHooks() MergeHooks {
+	return MergeHooks{
 		Admit: func() bool { return e.res.Store.Len() < e.opt.MaxMarkings },
 		Edge: func(parent MarkID, trans int32, child MarkID, isNew bool) {
 			if isNew {
@@ -219,7 +268,7 @@ func (e *reachExplorer) exploreParallel() {
 			e.res.Clipped[parent] = true
 			return true
 		},
-	})
+	}
 }
 
 // exploreFullScan is the pre-tracker loop: every transition's enabling

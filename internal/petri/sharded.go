@@ -35,6 +35,47 @@ type storeShard struct {
 	_ [64 - 16]byte
 }
 
+// Shard ownership is a pure function of the marking hash, shared by
+// every consumer that partitions the marking space: the ShardedStore's
+// striped tables, the in-process frontier pipeline, and the
+// cross-process runtime (internal/dist), where each worker process
+// owns a contiguous range of shards. Keeping the three on one function
+// is what lets a distributed exploration agree with the in-process one
+// about who owns which marking without any negotiation.
+
+// ShardOfHash returns the shard a marking with HashMarking value h
+// lands in, out of a power-of-two shard count: the top bits of the
+// hash (the open-addressing tables probe by the low bits, so the two
+// selections stay independent).
+func ShardOfHash(h uint64, shards int) uint32 {
+	return uint32(h >> uint(64-bits.TrailingZeros(uint(shards))))
+}
+
+// ShardOwner maps a shard to the worker owning it when `shards` shards
+// are split across `workers` workers as contiguous ranges. Shard
+// counts at least as large as the worker count give every worker a
+// non-empty range.
+func ShardOwner(shard uint32, shards, workers int) int {
+	return int(uint64(shard) * uint64(workers) / uint64(shards))
+}
+
+// NumFrontierShards returns the shard count the frontier pipelines use
+// for a given worker count: a power of two at least 4x the workers (so
+// ranges stay balanced) capped at 256.
+func NumFrontierShards(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	n := 2
+	for n < 4*workers {
+		n <<= 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
 // ShardRef identifies an interned marking within a ShardedStore.
 type ShardRef struct {
 	Shard uint32

@@ -1,6 +1,9 @@
 package petri
 
-import "sort"
+import (
+	mathbits "math/bits"
+	"sort"
+)
 
 // Incremental enabled-ECS maintenance. Every exploration loop needs the
 // set of ECSs enabled at each visited marking. Testing the full
@@ -128,4 +131,21 @@ func (tr *EnabledTracker) Update(dst, src []uint64, t int, m Marking) {
 // HasBit reports whether bit i of the bitset is set.
 func HasBit(bits []uint64, i int) bool {
 	return bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// ForEachMaskedBit calls fn with each set bit index of bits&mask in
+// ascending order — the canonical walk over an enabled-ECS bitset
+// filtered by a fireable/allowed mask. The exploration engines keep
+// specialized inlined forms of this loop where a closure per state
+// would show up in their allocation budgets; new consumers (the dist
+// worker's expansion) should use this one.
+func ForEachMaskedBit(bits, mask []uint64, fn func(i int)) {
+	for w := range bits {
+		x := bits[w] & mask[w]
+		for x != 0 {
+			b := mathbits.TrailingZeros64(x)
+			x &= x - 1
+			fn(w*64 + b)
+		}
+	}
 }

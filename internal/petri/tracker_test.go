@@ -171,3 +171,113 @@ func TestEnabledTrackerSelfLoopUntouched(t *testing.T) {
 		t.Fatalf("q-delta should touch the loop ECS (touched %v)", tr.Touched(tl.ID))
 	}
 }
+
+// TestEnabledTrackerZeroNetDelta: a transition whose every arc is a
+// self loop (zero net token delta) touches nothing, and Update after
+// firing it is a pure copy of the parent's set — the degenerate case
+// the incremental analysis exists to shortcut.
+func TestEnabledTrackerZeroNetDelta(t *testing.T) {
+	n := New("zerodelta")
+	p := n.AddPlace("p", PlaceChannel, 2)
+	q := n.AddPlace("q", PlaceChannel, 2)
+	spin := n.AddTransition("spin", TransNormal)
+	n.AddSelfLoop(p, spin, 1)
+	n.AddSelfLoop(q, spin, 1)
+	take := n.AddTransition("take", TransNormal)
+	n.AddArc(p, take, 1)
+	put := n.AddTransition("put", TransNormal)
+	n.AddArc(q, put, 1)
+	n.AddArcTP(put, p, 1)
+	part := n.ECSPartition()
+	tr := NewEnabledTracker(n, part)
+	if got := tr.Touched(spin.ID); len(got) != 0 {
+		t.Fatalf("zero-net-delta firing should touch no ECS, touched %v", got)
+	}
+	m := n.InitialMarking()
+	cur := make([]uint64, tr.Stride())
+	tr.Init(cur, m)
+	next := make([]uint64, tr.Stride())
+	m2 := m.Fire(spin)
+	if !m2.Equal(m) {
+		t.Fatalf("zero-net-delta firing changed the marking: %v -> %v", m, m2)
+	}
+	tr.Update(next, cur, spin.ID, m2)
+	if got, want := bitsOf(next, len(part)), bitsOf(cur, len(part)); !equalInts(got, want) {
+		t.Fatalf("Update after zero-delta firing changed the set: %v -> %v", want, got)
+	}
+	// The walk invariant holds through interleaved zero-delta firings.
+	seq := []int{spin.ID, take.ID, spin.ID, put.ID, spin.ID}
+	for step, tid := range seq {
+		if !m.Enabled(n.Transitions[tid]) {
+			t.Fatalf("step %d: %s unexpectedly disabled at %v", step, n.Transitions[tid].Name, m)
+		}
+		m = m.Fire(n.Transitions[tid])
+		tr.Update(next, cur, tid, m)
+		if got, want := bitsOf(next, len(part)), enabledIdx(n, part, m); !equalInts(got, want) {
+			t.Fatalf("step %d (%s): tracker %v, want %v", step, n.Transitions[tid].Name, got, want)
+		}
+		cur, next = next, cur
+	}
+}
+
+// TestEnabledTrackerSharedPresetECSs: several distinct ECSs keyed on
+// exactly the same places (same preset places, different weights —
+// equal-conflict grouping is by weighted preset, so they stay
+// separate). Any firing that changes those places must re-evaluate all
+// of them, and the maintained sets must flip independently as the
+// shared places drain.
+func TestEnabledTrackerSharedPresetECSs(t *testing.T) {
+	n := New("sharedpreset")
+	a := n.AddPlace("a", PlaceChannel, 6)
+	b := n.AddPlace("b", PlaceChannel, 6)
+	// Three ECSs over preset {a, b} with weights (1,1), (2,2), (3,5);
+	// the first has two members (a genuine multi-transition ECS).
+	t11a := n.AddTransition("w11a", TransNormal)
+	n.AddArc(a, t11a, 1)
+	n.AddArc(b, t11a, 1)
+	t11b := n.AddTransition("w11b", TransNormal)
+	n.AddArc(a, t11b, 1)
+	n.AddArc(b, t11b, 1)
+	t22 := n.AddTransition("w22", TransNormal)
+	n.AddArc(a, t22, 2)
+	n.AddArc(b, t22, 2)
+	t35 := n.AddTransition("w35", TransNormal)
+	n.AddArc(a, t35, 3)
+	n.AddArc(b, t35, 5)
+	part := n.ECSPartition()
+	tr := NewEnabledTracker(n, part)
+	if len(part) != 3 {
+		t.Fatalf("want 3 ECSs over the shared preset, got %d", len(part))
+	}
+	if tr.ECSOf(t11a.ID) != tr.ECSOf(t11b.ID) {
+		t.Fatal("equal-weight transitions should share an ECS")
+	}
+	// Every transition's firing changes both shared places, so every
+	// ECS must appear in every touched list.
+	for _, tt := range n.Transitions {
+		touched := tr.Touched(tt.ID)
+		if len(touched) != len(part) {
+			t.Fatalf("firing %s must touch all %d ECSs, touched %v", tt.Name, len(part), touched)
+		}
+	}
+	// Drain the shared places: (6,6) -w35-> (3,1) -w11-> (2,0); the
+	// three ECSs disable at different points, all tracked.
+	m := n.InitialMarking()
+	cur := make([]uint64, tr.Stride())
+	next := make([]uint64, tr.Stride())
+	tr.Init(cur, m)
+	if got := bitsOf(cur, len(part)); len(got) != 3 {
+		t.Fatalf("all ECSs enabled at start, got %v", got)
+	}
+	for step, tid := range []int{t35.ID, t11a.ID} {
+		m = m.Fire(n.Transitions[tid])
+		tr.Update(next, cur, tid, m)
+		if got, want := bitsOf(next, len(part)), enabledIdx(n, part, m); !equalInts(got, want) {
+			t.Fatalf("step %d: tracker %v, want %v", step, got, want)
+		}
+		cur, next = next, cur
+	}
+	if got := bitsOf(cur, len(part)); len(got) != 0 {
+		t.Fatalf("after draining b, no ECS should be enabled, got %v", got)
+	}
+}

@@ -1,0 +1,255 @@
+package petri
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire (de)serialization for cross-process exploration. A distributed
+// frontier ships three kinds of payload between coordinator and worker
+// processes: the net itself (once per session), full token vectors (the
+// root states seeding a session), and per-level delta batches — compact
+// (parent, transition) pairs from which a replica derives each newly
+// discovered marking by re-firing, so steady-state traffic never
+// carries vectors at all. Everything is length-checked varint encoding:
+// deterministic, endian-free, and append-only so encoders can reuse
+// buffers.
+//
+// The net encoding carries exactly the structure exploration needs —
+// names, kinds, initial markings, bounds, labels and the weighted arc
+// lists in declaration order — and deliberately drops the compiler
+// payloads (Place.Cond, Transition.Code, process attribution): those
+// drive code generation in the coordinator, never firing rules. A
+// decoded net therefore produces the identical ECSPartition,
+// EnabledTracker and firing semantics, which is all the determinism
+// contract requires of a worker.
+
+// Delta is one state-discovery record of a level-synchronous
+// exploration: the new state is the marking obtained by firing Trans at
+// the already-known state Parent. A level's new states, transmitted as
+// deltas in discovery order, let a replica reconstruct vectors, dense
+// MarkIDs and incremental enabled sets without receiving any of them
+// explicitly.
+type Delta struct {
+	Parent MarkID
+	Trans  int32
+}
+
+// AppendMarking appends m's varint encoding (length prefix + token
+// counts) to dst.
+func AppendMarking(dst []byte, m Marking) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	for _, v := range m {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// DecodeMarking decodes a marking encoded by AppendMarking from the
+// front of buf, returning the marking and the remaining bytes.
+func DecodeMarking(buf []byte) (Marking, []byte, error) {
+	n, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("petri: marking length: %w", err)
+	}
+	if n > uint64(len(buf)) { // every token needs >= 1 byte
+		return nil, nil, fmt.Errorf("petri: marking length %d exceeds payload", n)
+	}
+	m := make(Marking, n)
+	for i := range m {
+		var v uint64
+		v, buf, err = decodeUvarint(buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("petri: marking token %d: %w", i, err)
+		}
+		m[i] = int(v)
+	}
+	return m, buf, nil
+}
+
+// AppendDeltas appends a delta batch (count prefix + pairs) to dst.
+func AppendDeltas(dst []byte, ds []Delta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	for _, d := range ds {
+		dst = binary.AppendUvarint(dst, uint64(d.Parent))
+		dst = binary.AppendUvarint(dst, uint64(d.Trans))
+	}
+	return dst
+}
+
+// DecodeDeltas decodes a batch encoded by AppendDeltas from the front
+// of buf, appending to ds, and returns the batch and remaining bytes.
+func DecodeDeltas(ds []Delta, buf []byte) ([]Delta, []byte, error) {
+	n, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("petri: delta count: %w", err)
+	}
+	if n > uint64(len(buf)) { // every delta needs >= 2 bytes
+		return nil, nil, fmt.Errorf("petri: delta count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var p, t uint64
+		p, buf, err = decodeUvarint(buf)
+		if err == nil {
+			t, buf, err = decodeUvarint(buf)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("petri: delta %d: %w", i, err)
+		}
+		ds = append(ds, Delta{Parent: MarkID(p), Trans: int32(t)})
+	}
+	return ds, buf, nil
+}
+
+// AppendNet appends the net's wire encoding to dst. See the package
+// comment above for what is (and deliberately is not) carried.
+func AppendNet(dst []byte, n *Net) []byte {
+	dst = appendString(dst, n.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(n.Places)))
+	for _, p := range n.Places {
+		dst = appendString(dst, p.Name)
+		dst = binary.AppendUvarint(dst, uint64(p.Kind))
+		dst = binary.AppendUvarint(dst, uint64(p.Initial))
+		dst = binary.AppendUvarint(dst, uint64(p.Bound))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(n.Transitions)))
+	for _, t := range n.Transitions {
+		dst = appendString(dst, t.Name)
+		dst = appendString(dst, t.Label)
+		dst = binary.AppendUvarint(dst, uint64(t.Kind))
+		dst = appendArcs(dst, t.In)
+		dst = appendArcs(dst, t.Out)
+	}
+	return dst
+}
+
+// DecodeNet decodes a net encoded by AppendNet from the front of buf,
+// returning the net and the remaining bytes. The decoded net validates
+// and reproduces the original's ECS partition, enabled-tracker indexes
+// and firing behaviour exactly.
+func DecodeNet(buf []byte) (*Net, []byte, error) {
+	name, buf, err := decodeString(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("petri: net name: %w", err)
+	}
+	n := New(name)
+	np, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("petri: place count: %w", err)
+	}
+	if np > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("petri: place count %d exceeds payload", np)
+	}
+	for i := uint64(0); i < np; i++ {
+		var pname string
+		var kind, initial, bound uint64
+		pname, buf, err = decodeString(buf)
+		if err == nil {
+			kind, buf, err = decodeUvarint(buf)
+		}
+		if err == nil {
+			initial, buf, err = decodeUvarint(buf)
+		}
+		if err == nil {
+			bound, buf, err = decodeUvarint(buf)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("petri: place %d: %w", i, err)
+		}
+		p := n.AddPlace(pname, PlaceKind(kind), int(initial))
+		p.Bound = int(bound)
+	}
+	nt, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("petri: transition count: %w", err)
+	}
+	if nt > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("petri: transition count %d exceeds payload", nt)
+	}
+	for i := uint64(0); i < nt; i++ {
+		var tname, label string
+		var kind uint64
+		tname, buf, err = decodeString(buf)
+		if err == nil {
+			label, buf, err = decodeString(buf)
+		}
+		if err == nil {
+			kind, buf, err = decodeUvarint(buf)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("petri: transition %d: %w", i, err)
+		}
+		t := n.AddTransition(tname, TransKind(kind))
+		t.Label = label
+		t.In, buf, err = decodeArcs(buf, len(n.Places))
+		if err == nil {
+			t.Out, buf, err = decodeArcs(buf, len(n.Places))
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("petri: transition %s arcs: %w", tname, err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("petri: decoded net invalid: %w", err)
+	}
+	return n, buf, nil
+}
+
+func appendArcs(dst []byte, arcs []Arc) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(arcs)))
+	for _, a := range arcs {
+		dst = binary.AppendUvarint(dst, uint64(a.Place))
+		dst = binary.AppendUvarint(dst, uint64(a.Weight))
+	}
+	return dst
+}
+
+func decodeArcs(buf []byte, places int) ([]Arc, []byte, error) {
+	n, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("arc count %d exceeds payload", n)
+	}
+	var arcs []Arc
+	for i := uint64(0); i < n; i++ {
+		var p, w uint64
+		p, buf, err = decodeUvarint(buf)
+		if err == nil {
+			w, buf, err = decodeUvarint(buf)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if p >= uint64(places) {
+			return nil, nil, fmt.Errorf("arc place %d out of range (%d places)", p, places)
+		}
+		arcs = append(arcs, Arc{Place: int(p), Weight: int(w)})
+	}
+	return arcs, buf, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(buf []byte) (string, []byte, error) {
+	n, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(buf)) {
+		return "", nil, fmt.Errorf("string length %d exceeds payload", n)
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func decodeUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated or overlong varint")
+	}
+	return v, buf[n:], nil
+}

@@ -40,6 +40,15 @@ type Options struct {
 	// resulting schedule are byte-identical for every value. 0 or 1
 	// keeps the exploration serial; tree engines ignore it.
 	ExploreWorkers int
+	// Dist delegates the graph engine's frontier expansion to an
+	// external runner — a coordinator over worker processes owning hash
+	// ranges of the marking space (internal/dist). It takes precedence
+	// over ExploreWorkers; results stay byte-identical to the serial
+	// path for every process count. Runners serialize explorations
+	// internally, so a shared runner is safe (if sequential) across the
+	// concurrent searches of core's source-level pool. Tree engines
+	// ignore it.
+	Dist petri.FrontierRunner
 	// Engine selects the search engine (default EngineGraph).
 	Engine Engine
 	// NoFallback disables the automatic exhaustive-tree retry after a

@@ -233,9 +233,14 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 	st := n.Transitions[source]
 	m0 := n.InitialMarking()
 	rootID := ge.internRoot(m0)
-	if opt.ExploreWorkers > 1 {
+	switch {
+	case opt.Dist != nil:
+		if err := ge.exploreDist(opt.Dist); err != nil {
+			return nil, fmt.Errorf("sched: source %s: distributed exploration: %w", st.Name, err)
+		}
+	case opt.ExploreWorkers > 1:
 		ge.exploreParallel(opt.ExploreWorkers)
-	} else {
+	default:
 		ge.explore()
 	}
 	if ge.over {
@@ -377,24 +382,23 @@ func (ge *graphEngine) explore() {
 	}
 }
 
-// exploreParallel is explore() over petri.RunFrontier: each BFS level's
-// firing, hashing and deduplication fan out across workers while the
-// phase-C merge writes the arenas in exactly the serial order, so the
-// resulting engine state — and with it the schedule and generated code
-// — is byte-identical to the serial path for every worker count.
-func (ge *graphEngine) exploreParallel(workers int) {
-	scratch := make([]petri.Marking, workers)
+// mergeHooks builds the sequential phase-C hooks writing the engine
+// arenas in exactly the serial order — shared by the in-process
+// parallel frontier and the distributed runner so the two cannot
+// drift. The returned finish must be called once after the frontier
+// run to close the last state's ECS range.
+func (ge *graphEngine) mergeHooks() (hooks petri.MergeHooks, finish func()) {
 	cur := -1
 	var pend []int32 // allowed enabled ECS indexes of cur, in order
 	pi, mi := 0, 0   // pending-ECS and member cursors
-	finish := func() {
+	finish = func() {
 		if cur >= 0 {
 			ge.states[cur].ecsEnd = int32(len(ge.ecsArena))
 		}
 	}
 	// advance records one successor slot of cur, opening the next ECS
-	// group lazily. The emit order of Expand walks the same bitset, so
-	// the cursors stay aligned by construction.
+	// group lazily. The emit order of the expansion walks the same
+	// bitset, so the cursors stay aligned by construction.
 	advance := func(child int32) {
 		E := ge.part[pend[pi]]
 		if mi == 0 {
@@ -407,19 +411,7 @@ func (ge *graphEngine) exploreParallel(workers int) {
 			mi = 0
 		}
 	}
-	petri.RunFrontier(ge.store, workers, petri.FrontierHooks{
-		Expand: func(worker int, id petri.MarkID, m petri.Marking, emit func(int32, petri.Marking)) {
-			ge.forEachAllowedEnabled(ge.bits[int(id)*ge.stride:(int(id)+1)*ge.stride], func(E *petri.ECS) {
-				for _, tid := range E.Trans {
-					scratch[worker] = m.FireInto(scratch[worker], ge.net.Transitions[tid])
-					if !ge.withinCaps(scratch[worker]) {
-						emit(int32(tid), nil)
-						continue
-					}
-					emit(int32(tid), scratch[worker])
-				}
-			})
-		},
+	hooks = petri.MergeHooks{
 		BeginState: func(id petri.MarkID) {
 			finish()
 			cur = int(id)
@@ -445,8 +437,52 @@ func (ge *graphEngine) exploreParallel(workers int) {
 			advance(-1)
 			return true
 		},
+	}
+	return hooks, finish
+}
+
+// exploreParallel is explore() over petri.RunFrontier: each BFS level's
+// firing, hashing and deduplication fan out across workers while the
+// phase-C merge writes the arenas in exactly the serial order, so the
+// resulting engine state — and with it the schedule and generated code
+// — is byte-identical to the serial path for every worker count.
+func (ge *graphEngine) exploreParallel(workers int) {
+	scratch := make([]petri.Marking, workers)
+	hooks, finish := ge.mergeHooks()
+	petri.RunFrontier(ge.store, workers, petri.FrontierHooks{
+		Expand: func(worker int, id petri.MarkID, m petri.Marking, emit func(int32, petri.Marking)) {
+			ge.forEachAllowedEnabled(ge.bits[int(id)*ge.stride:(int(id)+1)*ge.stride], func(E *petri.ECS) {
+				for _, tid := range E.Trans {
+					scratch[worker] = m.FireInto(scratch[worker], ge.net.Transitions[tid])
+					if !ge.withinCaps(scratch[worker]) {
+						emit(int32(tid), nil)
+						continue
+					}
+					emit(int32(tid), scratch[worker])
+				}
+			})
+		},
+		MergeHooks: hooks,
 	})
 	finish()
+}
+
+// exploreDist is explore() with the expansion shipped to worker
+// processes: the runner receives the net, the allowed-ECS mask and the
+// place caps — a complete description of this engine's expansion rule —
+// and drives the same merge hooks in serial discovery order, so
+// schedules and generated code are byte-identical to the serial and
+// in-process parallel paths for every process count. Infrastructure
+// failures surface as an error; exploration outcomes (budget
+// exhaustion) land in ge.over exactly as in the other paths.
+func (ge *graphEngine) exploreDist(r petri.FrontierRunner) error {
+	hooks, finish := ge.mergeHooks()
+	spec := petri.ExpandSpec{Mask: ge.allowedMask, Caps: ge.caps}
+	if _, err := r.RunFrontier(ge.net, ge.store, spec, hooks); err != nil {
+		return err
+	}
+	finish()
+	return nil
 }
 
 // buildReverse assembles the CSR reverse adjacency over every explored

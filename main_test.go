@@ -1,0 +1,16 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestMain routes re-executed children of dist.SpawnLocal into the
+// worker loop: the distributed-exploration benchmarks spawn this very
+// test binary as their worker processes.
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
