@@ -8,6 +8,10 @@
 #                      real spawned worker processes (also part of the
 #                      race test suite; this target is the CI job's
 #                      entry point and a focused local repro command)
+#   make dist-memory — the trimmed-replica memory gate: per-worker
+#                      store bytes <= 0.75x the full-replica baseline
+#                      at 2 workers, plus the ~1/N scaling curve
+#                      (exact live byte counts, machine-independent)
 #   make bench       — every benchmark once (shape assertions, no timing)
 #   make benchgate   — benchmark-regression gate vs bench_baseline.json
 #   make fuzz-smoke  — short-budget fuzz pass over both fuzz targets
@@ -18,12 +22,15 @@ FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
 BENCH_ALLOC_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test dist-matrix bench benchgate baseline fuzz-smoke
+.PHONY: ci build vet test dist-matrix dist-memory bench benchgate baseline fuzz-smoke
 
 ci: build vet test bench benchgate fuzz-smoke
 
 dist-matrix:
 	$(GO) test -race -count=1 -v -run 'TestDeterminismMatrix|TestReachMatrix|TestCorpusSweepDist' ./internal/dist
+
+dist-memory:
+	$(GO) test -race -count=1 -v -run 'TestDistTrimmedMemoryGate|TestDistTrimmedMemoryScaling' ./internal/dist
 
 build:
 	$(GO) build ./...

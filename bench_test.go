@@ -353,6 +353,74 @@ func BenchmarkExploreDist(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreDistTrimmed is the beyond-RAM claim measured: the
+// full 161k-state ExploreLarge reachability construction through
+// trimmed-replica worker processes at 1 and 2 workers. Alongside
+// timing, each sub-benchmark reports the largest worker's replica
+// footprint (store arena + enabled-set bits, exact live bytes) and its
+// end-of-session Go heap: store bytes must scale ~1/N with the worker
+// count — the memory-model property the dist-memory CI gate pins at a
+// strict 0.75x ratio on a smaller net. The boundary-parent cache is
+// reported too; it is bounded by construction and does not grow with
+// the state space.
+func BenchmarkExploreDistTrimmed(b *testing.B) {
+	const pipes, stages = 5, 11
+	want := 1
+	for i := 0; i < pipes; i++ {
+		want *= stages
+	}
+	opt := petri.ExploreOptions{MaxMarkings: want + 1}
+	for _, procs := range []int{1, 2} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			pool, err := dist.SpawnLocal(procs)
+			if err != nil {
+				b.Fatalf("spawn %d workers: %v", procs, err)
+			}
+			defer pool.Close()
+			n := exploreLargeNet(pipes, stages)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := n.ExploreDist(pool, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Len() != want || r.Truncated {
+					b.Fatalf("explored %d markings (truncated=%v), want %d", r.Len(), r.Truncated, want)
+				}
+			}
+			b.StopTimer()
+			st := pool.LastSessionStats()
+			if !st.Trimmed {
+				b.Fatal("session did not run trimmed replicas")
+			}
+			var storeMax, heapMax, cacheMax int64
+			held := 0
+			for _, wm := range st.Workers {
+				if v := wm.StoreBytes + wm.BitsBytes; v > storeMax {
+					storeMax = v
+				}
+				if wm.HeapBytes > heapMax {
+					heapMax = wm.HeapBytes
+				}
+				if wm.CacheBytes > cacheMax {
+					cacheMax = wm.CacheBytes
+				}
+				held += wm.States
+			}
+			if held != want {
+				b.Fatalf("workers hold %d states in total, want %d", held, want)
+			}
+			b.ReportMetric(float64(storeMax), "workerStoreB")
+			b.ReportMetric(float64(cacheMax), "workerCacheB")
+			b.ReportMetric(float64(heapMax), "workerHeapB")
+			if st.Levels > 0 {
+				b.ReportMetric(float64(st.BytesSent)/float64(st.Levels), "sentB/level")
+			}
+		})
+	}
+}
+
 // dividerNet rebuilds the Figure 7 divider chain for the termination
 // ablation.
 func dividerNet(k int) *petri.Net {

@@ -6,13 +6,15 @@
 //
 //	pfcbench [-fig20] [-table1] [-table2] [-all] [-frames N]
 //	         [-explore-workers N] [-dist-workers N] [-dist-endpoint ep]
-//	         [-cpuprofile f] [-memprofile f]
+//	         [-dist-full-replicas] [-cpuprofile f] [-memprofile f]
 //
 // -explore-workers parallelizes the schedule search's state-space
 // exploration; -dist-workers instead shards it across worker OS
 // processes (spawned locally, or awaited as external cmd/qssd
-// processes at -dist-endpoint). Results are byte-identical for every
-// value of either. -cpuprofile/-memprofile write pprof profiles, so
+// processes at -dist-endpoint), each holding only its owned hash
+// shards unless -dist-full-replicas restores the full-replica
+// fallback. Results are byte-identical for every value of any of
+// them. -cpuprofile/-memprofile write pprof profiles, so
 // perf regressions can be diagnosed without editing source.
 // Contradictory flag combinations (negative counts, -dist-endpoint
 // without -dist-workers, both exploration strategies at once) are
@@ -41,7 +43,7 @@ func main() {
 
 // validateFlags rejects contradictory or out-of-range combinations
 // with a descriptive error instead of silently clamping.
-func validateFlags(frames, exploreWorkers, distWorkers int, distEndpoint string, anyOutput bool) error {
+func validateFlags(frames, exploreWorkers, distWorkers int, distEndpoint string, distFullReplicas, anyOutput bool) error {
 	switch {
 	case !anyOutput:
 		return fmt.Errorf("nothing to do: pass -fig20, -table1, -table2 or -all")
@@ -55,6 +57,8 @@ func validateFlags(frames, exploreWorkers, distWorkers int, distEndpoint string,
 		return fmt.Errorf("-dist-endpoint requires -dist-workers >= 1 (how many workers to await)")
 	case distWorkers > 0 && exploreWorkers > 1:
 		return fmt.Errorf("-dist-workers and -explore-workers > 1 are contradictory: pick in-process or cross-process exploration")
+	case distFullReplicas && distWorkers == 0:
+		return fmt.Errorf("-dist-full-replicas requires -dist-workers >= 1 (it selects the worker replica mode)")
 	}
 	return nil
 }
@@ -68,13 +72,14 @@ func realMain() (code int) {
 	exploreWorkers := flag.Int("explore-workers", 0, "goroutines for the schedule-search exploration (0 = auto budget)")
 	distWorkers := flag.Int("dist-workers", 0, "worker OS processes sharding the exploration (0 = none)")
 	distEndpoint := flag.String("dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning")
+	distFullReplicas := flag.Bool("dist-full-replicas", false, "fall back to full worker replicas instead of trimmed owned-shard ones")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *all {
 		*fig20, *table1, *table2 = true, true, true
 	}
-	if err := validateFlags(*frames, *exploreWorkers, *distWorkers, *distEndpoint, *fig20 || *table1 || *table2); err != nil {
+	if err := validateFlags(*frames, *exploreWorkers, *distWorkers, *distEndpoint, *distFullReplicas, *fig20 || *table1 || *table2); err != nil {
 		fmt.Fprintln(os.Stderr, "pfcbench:", err)
 		flag.Usage()
 		return 2
@@ -91,10 +96,11 @@ func realMain() (code int) {
 		}
 	}()
 	res, err := apps.SynthesizePFCWith(&core.Options{
-		ExploreWorkers: *exploreWorkers,
-		DistWorkers:    *distWorkers,
-		DistEndpoint:   *distEndpoint,
-		DisableCache:   true,
+		ExploreWorkers:   *exploreWorkers,
+		DistWorkers:      *distWorkers,
+		DistEndpoint:     *distEndpoint,
+		DistFullReplicas: *distFullReplicas,
+		DisableCache:     true,
 	})
 	if err != nil {
 		return fatal(err)

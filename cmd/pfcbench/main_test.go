@@ -10,6 +10,7 @@ func TestPFCBenchFlagValidation(t *testing.T) {
 		name                                string
 		frames, exploreWorkers, distWorkers int
 		distEndpoint                        string
+		distFullReplicas                    bool
 		anyOutput, wantErr                  bool
 	}
 	cases := []tc{
@@ -17,15 +18,17 @@ func TestPFCBenchFlagValidation(t *testing.T) {
 		{name: "explore-workers", frames: 10, exploreWorkers: 8, anyOutput: true},
 		{name: "dist", frames: 10, distWorkers: 2, anyOutput: true},
 		{name: "dist-endpoint", frames: 1, distWorkers: 1, distEndpoint: "tcp:127.0.0.1:9000", anyOutput: true},
+		{name: "dist-full-replicas", frames: 10, distWorkers: 2, distFullReplicas: true, anyOutput: true},
 		{name: "no-output", frames: 10, wantErr: true},
 		{name: "zero-frames", frames: 0, anyOutput: true, wantErr: true},
 		{name: "negative-explore", frames: 10, exploreWorkers: -1, anyOutput: true, wantErr: true},
 		{name: "negative-dist", frames: 10, distWorkers: -3, anyOutput: true, wantErr: true},
 		{name: "endpoint-without-workers", frames: 10, distEndpoint: "unix:/tmp/q.sock", anyOutput: true, wantErr: true},
 		{name: "both-strategies", frames: 10, distWorkers: 2, exploreWorkers: 4, anyOutput: true, wantErr: true},
+		{name: "full-replicas-without-dist", frames: 10, distFullReplicas: true, anyOutput: true, wantErr: true},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.frames, c.exploreWorkers, c.distWorkers, c.distEndpoint, c.anyOutput)
+		err := validateFlags(c.frames, c.exploreWorkers, c.distWorkers, c.distEndpoint, c.distFullReplicas, c.anyOutput)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: validateFlags err = %v, wantErr %v", c.name, err, c.wantErr)
 		}

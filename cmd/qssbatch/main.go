@@ -15,6 +15,9 @@
 // across that many worker OS processes — spawned locally, or awaited
 // as external cmd/qssd processes at -dist-endpoint — over one shared
 // pool for the whole batch; results are byte-identical either way.
+// Workers hold only their owned hash shards by default (per-worker
+// memory ~1/N of the state space); -dist-full-replicas falls back to
+// full worker replicas rebuilt from delta broadcasts.
 // -compare additionally runs the serial baseline and prints the
 // speedup. -cpuprofile/-memprofile write pprof profiles, so perf
 // regressions can be diagnosed without editing source. Shape flags
@@ -49,11 +52,12 @@ func main() {
 
 // batchFlags holds the scalar flags that need cross-validation.
 type batchFlags struct {
-	n              int
-	workers        int
-	exploreWorkers int
-	distWorkers    int
-	distEndpoint   string
+	n                int
+	workers          int
+	exploreWorkers   int
+	distWorkers      int
+	distEndpoint     string
+	distFullReplicas bool
 }
 
 // validate rejects contradictory or out-of-range combinations with a
@@ -72,6 +76,8 @@ func (f *batchFlags) validate() error {
 		return fmt.Errorf("-dist-endpoint requires -dist-workers >= 1 (how many workers to await)")
 	case f.distWorkers > 0 && f.exploreWorkers > 1:
 		return fmt.Errorf("-dist-workers and -explore-workers > 1 are contradictory: pick in-process or cross-process exploration")
+	case f.distFullReplicas && f.distWorkers == 0:
+		return fmt.Errorf("-dist-full-replicas requires -dist-workers >= 1 (it selects the worker replica mode)")
 	}
 	return nil
 }
@@ -84,6 +90,7 @@ func realMain() (code int) {
 	flag.IntVar(&bf.exploreWorkers, "explore-workers", 1, "goroutines per schedule-search exploration (0 = auto budget)")
 	flag.IntVar(&bf.distWorkers, "dist-workers", 0, "worker OS processes sharding each exploration (0 = none)")
 	flag.StringVar(&bf.distEndpoint, "dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning")
+	flag.BoolVar(&bf.distFullReplicas, "dist-full-replicas", false, "fall back to full worker replicas instead of trimmed owned-shard ones")
 	compare := flag.Bool("compare", false, "also run the serial baseline and report the speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -148,6 +155,9 @@ func realMain() (code int) {
 			return 1
 		}
 		defer pool.Close()
+		if bf.distFullReplicas {
+			pool.SetFullReplicas(true)
+		}
 		copt.Dist = pool
 		bf.workers = 1
 	}

@@ -2,18 +2,23 @@
 // dials a coordinator (a synthesis run started with -dist-workers and
 // -dist-endpoint on cmd/qssbatch or cmd/pfcbench, or any caller of
 // core.Options.DistEndpoint), then serves exploration sessions —
-// holding a replica of the marking store rebuilt from per-level delta
-// batches and expanding the frontier states whose hash shards it owns —
-// until the coordinator closes the connection.
+// holding the marking vectors and enabled sets of the hash shards it
+// owns (or, with -full-replicas, a full replica rebuilt from delta
+// batches) and expanding the frontier states in those shards — until
+// the coordinator closes the connection.
 //
 // Usage:
 //
 //	qssd -connect unix:/path/to.sock
-//	qssd -connect tcp:host:port [-timeout 30s]
+//	qssd -connect tcp:host:port [-timeout 30s] [-full-replicas]
 //
 // One qssd process is one worker; start as many as the coordinator was
-// told to await. Determinism is the coordinator's job: any number of
-// workers, on any machines, produces byte-identical results.
+// told to await. -full-replicas advertises that this worker refuses
+// trimmed sessions: the coordinator falls back to full-replica mode
+// for the whole pool, trading this worker's memory for local successor
+// classification. Determinism is the coordinator's job: any number of
+// workers, in either replica mode, on any machines, produces
+// byte-identical results.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 func realMain() int {
 	connect := flag.String("connect", "", "coordinator endpoint (unix:/path, tcp:host:port, or a bare unix-socket path)")
 	timeout := flag.Duration("timeout", 30*time.Second, "how long to keep retrying the initial dial")
+	fullReplicas := flag.Bool("full-replicas", false, "refuse trimmed sessions; the coordinator falls back to full-replica mode")
 	flag.Parse()
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "qssd: -connect is required")
@@ -43,7 +49,7 @@ func realMain() int {
 		flag.Usage()
 		return 2
 	}
-	if err := dist.Serve(*connect, *timeout); err != nil {
+	if err := dist.Serve(*connect, *timeout, dist.WorkerOptions{FullReplicas: *fullReplicas}); err != nil {
 		fmt.Fprintln(os.Stderr, "qssd:", err)
 		return 1
 	}

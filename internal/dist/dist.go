@@ -22,17 +22,30 @@
 // Per session (one exploration), the coordinator sends the net, the
 // petri.ExpandSpec (fireable-ECS mask + place caps) and the root
 // markings once. Each level is then one round trip: the coordinator
-// broadcasts the level's newly discovered states as a compact delta
-// batch (petri.Delta: parent MarkID + fired transition — every worker
-// re-fires to reconstruct the vectors, so steady-state traffic carries
-// no token vectors), every worker expands the frontier states whose
-// shard it owns and answers with a candidate stream (veto / known
-// global MarkID / new), and the coordinator merges. Workers keep a
-// full replica of the store and the incremental enabled-set arena;
-// trimming replicas to owned states (shipping vectors in deltas
-// instead) is the step that would take state spaces beyond one
-// machine's RAM, and is deliberately left to a follow-up — the wire
-// format already supports it.
+// ships the level's newly discovered states, every worker expands the
+// frontier states whose shard it owns and answers with a candidate
+// stream (veto / known global MarkID / new), and the coordinator
+// merges.
+//
+// In the default trimmed-replica mode each worker holds vectors,
+// hashes and enabled bitsets only for its owned shards — per-worker
+// memory is ~1/N of the state space, which is what takes explorations
+// beyond one machine's RAM. The coordinator sends each worker just the
+// petri.VecDelta records whose child it owns; a record whose parent
+// belongs to another worker carries the parent's token vector (the
+// worker cannot re-fire it locally), deduplicated through a bounded
+// LRU the coordinator and worker run in lockstep, so a hot boundary
+// parent ships once per residency rather than once per child.
+// Successors routing to foreign shards are reported as new and
+// resolved by the coordinator's merge against the authoritative store.
+//
+// The full-replica fallback (Pool.SetFullReplicas, cmd/qssd
+// -full-replicas, core.Options.DistFullReplicas) broadcasts compact
+// petri.Delta batches instead — every worker re-fires to reconstruct
+// all vectors, so steady-state traffic carries no vectors at all and
+// every successor is classified locally, at the price of memory parity
+// with the coordinator in every worker. Results are byte-identical in
+// both modes.
 //
 // # Process management
 //
@@ -102,14 +115,14 @@ func dialRetry(ep string, budget time.Duration) (net.Conn, error) {
 // Serve dials the coordinator at the endpoint (retrying for up to
 // dialBudget) and serves exploration sessions until the coordinator
 // closes the connection — the body of the cmd/qssd worker binary.
-func Serve(endpoint string, dialBudget time.Duration) error {
+func Serve(endpoint string, dialBudget time.Duration, opt WorkerOptions) error {
 	logw := newLogWriterTo("worker", os.Stderr)
 	conn, err := dialRetry(endpoint, dialBudget)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	return ServeConn(conn, logw)
+	return ServeConn(conn, logw, opt)
 }
 
 // MaybeWorker turns the current process into a dist worker when the
@@ -131,7 +144,7 @@ func MaybeWorker() {
 		logw.printf("%v", err)
 		os.Exit(1)
 	}
-	if err := ServeConn(conn, logw); err != nil {
+	if err := ServeConn(conn, logw, WorkerOptions{}); err != nil {
 		logw.printf("serve: %v", err)
 		conn.Close()
 		os.Exit(1)

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"net"
+	"os"
 	"testing"
 
 	"repro/internal/petri"
@@ -12,23 +13,27 @@ import (
 // end of net.Pipe connections — the full protocol stack (framing,
 // encoding, replica, merge) without process spawning, so the unit tests
 // stay fast and debuggable. Process-level coverage lives in the
-// determinism matrix tests (package dist_test).
-func pipePool(t *testing.T, n int) *Pool {
+// determinism matrix tests (package dist_test). Workers run the
+// default trimmed-replica mode; pass WorkerOptions to exercise the
+// full-replica fallback or capability negotiation.
+func pipePool(t *testing.T, n int, wopt WorkerOptions) *Pool {
 	t.Helper()
 	p := &Pool{logw: newLogWriter("coord")}
 	for i := 0; i < n; i++ {
 		cs, ws := net.Pipe()
 		errc := make(chan error, 1)
-		go func() { errc <- ServeConn(ws, newLogWriter("worker")) }()
+		go func() { errc <- ServeConn(ws, newLogWriter("worker"), wopt) }()
 		c := newConn(cs)
 		payload, err := c.expect(msgHello)
+		var flags uint64
 		if err == nil {
-			err = checkHello(payload)
+			flags, err = checkHello(payload)
 		}
 		if err != nil {
 			t.Fatalf("pipe worker %d handshake: %v", i, err)
 		}
 		p.workers = append(p.workers, c)
+		p.wantFull = append(p.wantFull, flags&helloFullReplicas != 0)
 		t.Cleanup(func() {
 			cs.Close()
 			if err := <-errc; err != nil {
@@ -127,16 +132,43 @@ func TestExploreDistPipe(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			want := tc.net.Explore(tc.opt)
-			for _, workers := range []int{1, 2, 4} {
-				p := pipePool(t, workers)
-				got, err := tc.net.ExploreDist(p, tc.opt)
-				if err != nil {
-					t.Fatalf("ExploreDist(%d workers): %v", workers, err)
-				}
-				requireSameReach(t, fmt.Sprintf("%d workers", workers), want, got)
-				st := p.LastSessionStats()
-				if st.States != want.Len() || st.Levels == 0 {
-					t.Fatalf("session stats %+v inconsistent with %d states", st, want.Len())
+			for _, mode := range []struct {
+				name string
+				wopt WorkerOptions
+			}{
+				{"trimmed", WorkerOptions{}},
+				{"full", WorkerOptions{FullReplicas: true}},
+			} {
+				for _, workers := range []int{1, 2, 4} {
+					p := pipePool(t, workers, mode.wopt)
+					got, err := tc.net.ExploreDist(p, tc.opt)
+					if err != nil {
+						t.Fatalf("ExploreDist(%d %s workers): %v", workers, mode.name, err)
+					}
+					requireSameReach(t, fmt.Sprintf("%d %s workers", workers, mode.name), want, got)
+					st := p.LastSessionStats()
+					if st.States != want.Len() || st.Levels == 0 {
+						t.Fatalf("session stats %+v inconsistent with %d states", st, want.Len())
+					}
+					if wantTrim := !mode.wopt.FullReplicas; st.Trimmed != wantTrim {
+						t.Fatalf("session ran trimmed=%v, worker capability asked %v", st.Trimmed, wantTrim)
+					}
+					if len(st.Workers) != workers {
+						t.Fatalf("stats carry %d workers, pool has %d", len(st.Workers), workers)
+					}
+					held := 0
+					for w, wm := range st.Workers {
+						if wm.StoreBytes <= 0 {
+							t.Fatalf("worker %d reported no store bytes: %+v", w, wm)
+						}
+						if !st.Trimmed && wm.States != want.Len() {
+							t.Fatalf("full-replica worker %d holds %d states, want %d", w, wm.States, want.Len())
+						}
+						held += wm.States
+					}
+					if st.Trimmed && held != want.Len() {
+						t.Fatalf("trimmed workers hold %d states in total, store has %d", held, want.Len())
+					}
 				}
 			}
 		})
@@ -146,7 +178,7 @@ func TestExploreDistPipe(t *testing.T) {
 // TestPoolSessionReuse: one pool serves several explorations in
 // sequence (the batch drivers synthesize many apps over one pool).
 func TestPoolSessionReuse(t *testing.T) {
-	p := pipePool(t, 2)
+	p := pipePool(t, 2, WorkerOptions{})
 	nets := []*petri.Net{ringNet(2, 3), sourceNet(), ringNet(1, 6)}
 	for i, n := range nets {
 		opt := petri.ExploreOptions{MaxMarkings: 200, MaxTokensPerPlace: 3, FireSources: true}
@@ -167,21 +199,66 @@ func TestPoolPoisoned(t *testing.T) {
 	cs, ws := net.Pipe()
 	go func() {
 		c := newConn(ws)
-		c.sendHello()
+		c.sendHello(0)
 		c.recv() // init
 		ws.Close()
 	}()
 	c := newConn(cs)
-	if payload, err := c.expect(msgHello); err != nil || checkHello(payload) != nil {
+	payload, err := c.expect(msgHello)
+	if err == nil {
+		_, err = checkHello(payload)
+	}
+	if err != nil {
 		t.Fatalf("handshake: %v", err)
 	}
 	p.workers = append(p.workers, c)
+	p.wantFull = append(p.wantFull, false)
 	n := ringNet(2, 3)
 	if _, err := n.ExploreDist(p, petri.ExploreOptions{MaxMarkings: 100}); err == nil {
 		t.Fatal("want error from dying worker")
 	}
 	if _, err := n.ExploreDist(p, petri.ExploreOptions{MaxMarkings: 100}); err == nil {
 		t.Fatal("want poisoned-pool error on reuse")
+	}
+}
+
+// TestRotatingLogFile: a file-backed dist log rolls to <name>.1 at the
+// size cap instead of growing without bound, keeping at most two
+// generations — with the cap enforced per FILE even when several
+// logWriters in one process share the path (every in-process pipe
+// worker logs under the same pid).
+func TestRotatingLogFile(t *testing.T) {
+	path := t.TempDir() + "/worker-1.log"
+	f, err := logFileFor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := logFileFor(path); err != nil || again != f {
+		t.Fatalf("second logFileFor(%q) = %p, %v; want the shared instance %p", path, again, err, f)
+	}
+	line := make([]byte, 1<<10)
+	for i := range line {
+		line[i] = 'x'
+	}
+	// Write ~2.5 caps worth: two rotations.
+	for written := 0; written <= logFileCap*5/2; written += len(line) {
+		if _, err := f.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > logFileCap {
+		t.Fatalf("current generation is %dB, cap is %dB", st.Size(), logFileCap)
+	}
+	old, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("rollover generation missing: %v", err)
+	}
+	if old.Size() > logFileCap {
+		t.Fatalf("rolled generation is %dB, cap is %dB", old.Size(), logFileCap)
 	}
 }
 
@@ -214,6 +291,18 @@ func TestShardHelpers(t *testing.T) {
 		for w, ok := range covered {
 			if !ok {
 				t.Fatalf("worker %d owns no shard of %d/%d", w, S, workers)
+			}
+		}
+		// OwnedShardRange must be the exact inverse of ShardOwner: shard
+		// s belongs to w's range iff ShardOwner says w.
+		for w := 0; w < workers; w++ {
+			lo, hi := petri.OwnedShardRange(w, S, workers)
+			for s := 0; s < S; s++ {
+				in := s >= lo && s < hi
+				if owns := petri.ShardOwner(uint32(s), S, workers) == w; owns != in {
+					t.Fatalf("OwnedShardRange(%d, %d, %d) = [%d,%d) disagrees with ShardOwner at shard %d",
+						w, S, workers, lo, hi, s)
+				}
 			}
 		}
 	}

@@ -63,12 +63,14 @@ var matrixApps = []struct {
 }
 
 // matrixConfig is one execution strategy. procs > 0 spawns that many
-// worker processes; otherwise ew is the in-process ExploreWorkers
-// value (1 = plain serial).
+// worker processes (trimmed owned-shard replicas by default; full
+// restores the broadcast full-replica fallback); otherwise ew is the
+// in-process ExploreWorkers value (1 = plain serial).
 type matrixConfig struct {
 	name  string
 	ew    int
 	procs int
+	full  bool
 }
 
 var matrixConfigs = []matrixConfig{
@@ -79,6 +81,7 @@ var matrixConfigs = []matrixConfig{
 	{name: "dist-procs-1", procs: 1},
 	{name: "dist-procs-2", procs: 2},
 	{name: "dist-procs-4", procs: 4},
+	{name: "dist-procs-2-full-replicas", procs: 2, full: true},
 }
 
 // TestDeterminismMatrix: byte-identical generated C and schedules for
@@ -102,6 +105,7 @@ func TestDeterminismMatrix(t *testing.T) {
 					t.Fatalf("spawn %d workers: %v", cfg.procs, err)
 				}
 				defer pool.Close()
+				pool.SetFullReplicas(cfg.full)
 				opt = &core.Options{Workers: 1, Dist: pool, DisableCache: true}
 			}
 			for _, app := range matrixApps {

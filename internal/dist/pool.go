@@ -19,23 +19,30 @@ import (
 // sessions internally, so it may be shared by sequential (or
 // mutex-ordered) callers; Close tears the workers down.
 type Pool struct {
-	mu      sync.Mutex
-	workers []*conn
-	cmds    []*exec.Cmd // spawned locally; empty for Listen pools
-	dir     string      // socket tempdir of a SpawnLocal pool
-	broken  error       // first infrastructure failure; poisons the pool
-	closed  bool
-	logw    *logWriter
-	stats   SessionStats
+	mu       sync.Mutex
+	workers  []*conn
+	wantFull []bool      // per worker: demanded full replicas in hello
+	cmds     []*exec.Cmd // spawned locally; empty for Listen pools
+	dir      string      // socket tempdir of a SpawnLocal pool
+	full     bool        // coordinator-side full-replica fallback
+	broken   error       // first infrastructure failure; poisons the pool
+	closed   bool
+	logw     *logWriter
+	stats    SessionStats
 }
 
 // SessionStats describes the last completed exploration session —
-// the protocol cost the benchmarks report.
+// the protocol cost and per-worker replica memory the benchmarks and
+// the CI memory gate report.
 type SessionStats struct {
 	Levels    int
 	States    int
+	Trimmed   bool  // replica mode the session actually ran in
 	BytesSent int64 // coordinator -> workers (init, deltas)
 	BytesRecv int64 // workers -> coordinator (candidate streams)
+	// Workers holds each worker's end-of-session replica accounting,
+	// in worker-index order.
+	Workers []WorkerMem
 }
 
 // spawnHandshakeTimeout bounds how long SpawnLocal waits for each
@@ -138,8 +145,9 @@ func (p *Pool) accept(ln net.Listener, n int, timeout time.Duration) error {
 		c := newConn(nc)
 		nc.SetDeadline(time.Now().Add(timeout))
 		payload, err := c.expect(msgHello)
+		var flags uint64
 		if err == nil {
-			err = checkHello(payload)
+			flags, err = checkHello(payload)
 		}
 		if err != nil {
 			nc.Close()
@@ -147,12 +155,40 @@ func (p *Pool) accept(ln net.Listener, n int, timeout time.Duration) error {
 		}
 		nc.SetDeadline(time.Time{})
 		p.workers = append(p.workers, c)
+		p.wantFull = append(p.wantFull, flags&helloFullReplicas != 0)
 	}
 	return nil
 }
 
 // NumWorkers returns the pool size.
 func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// SetFullReplicas switches the pool's later sessions to the
+// full-replica fallback: every worker rebuilds the whole store from
+// broadcast delta batches (memory parity with the coordinator) instead
+// of holding only its owned shards. Results are byte-identical either
+// way; full replicas trade worker memory for local successor
+// classification. A worker that demanded full replicas in its hello
+// (cmd/qssd -full-replicas) forces the fallback regardless.
+func (p *Pool) SetFullReplicas(full bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.full = full
+}
+
+// trimmed reports the replica mode the next session will use. Callers
+// hold p.mu.
+func (p *Pool) trimmed() bool {
+	if p.full {
+		return false
+	}
+	for _, wf := range p.wantFull {
+		if wf {
+			return false
+		}
+	}
+	return true
+}
 
 // LastSessionStats returns the protocol accounting of the most recently
 // completed RunFrontier session.
@@ -226,34 +262,59 @@ func (p *Pool) RunFrontier(n *petri.Net, store *petri.MarkingStore, spec petri.E
 func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (bool, error) {
 	W := len(p.workers)
 	S := petri.NumFrontierShards(W)
+	trim := p.trimmed()
 	roots := make([]petri.Marking, store.Len())
 	for i := range roots {
 		roots[i] = store.At(petri.MarkID(i))
 	}
 	start0 := startBytes(p.workers)
 	for i, c := range p.workers {
-		init := &initMsg{index: i, workers: W, shards: S, net: n, spec: spec, roots: roots}
+		init := &initMsg{index: i, workers: W, shards: S, trim: trim, net: n, spec: spec, roots: roots}
 		if err := c.send(msgInit, appendInit(nil, init)); err != nil {
 			return false, fmt.Errorf("dist: init worker %d: %w", i, err)
 		}
 	}
-	p.stats = SessionStats{}
+	p.stats = SessionStats{Trimmed: trim}
+	// owner maps an interned state to the worker owning its shard — the
+	// shared pure-function partitioning every side agrees on.
+	owner := func(id petri.MarkID) int {
+		return petri.ShardOwner(petri.ShardOfHash(store.HashAt(id), S), S, W)
+	}
 	var (
-		deltas  []petri.Delta
+		deltas  []petri.Delta      // full-replica mode: broadcast batch
+		pending [][]petri.VecDelta // trimmed mode: per-worker batches
+		vcaches []*vecCache        // trimmed mode: per-worker cache models
 		scratch petri.Marking
 		payload = make([]byte, 0, 1<<12)
 		streams = make([]resultStream, W)
 	)
+	if trim {
+		pending = make([][]petri.VecDelta, W)
+		vcaches = make([]*vecCache, W)
+		for i := range vcaches {
+			vcaches[i] = newVecCache()
+		}
+	}
 	finish := func(completed bool) (bool, error) {
 		for i, c := range p.workers {
 			if err := c.send(msgDone, nil); err != nil {
 				return false, fmt.Errorf("dist: finish worker %d: %w", i, err)
 			}
 		}
+		p.stats.Workers = make([]WorkerMem, W)
+		for i, c := range p.workers {
+			buf, err := c.expect(msgStats)
+			if err != nil {
+				return false, fmt.Errorf("dist: stats from worker %d: %w", i, err)
+			}
+			if p.stats.Workers[i], err = decodeStats(buf); err != nil {
+				return false, fmt.Errorf("dist: stats from worker %d: %w", i, err)
+			}
+		}
 		p.stats.States = store.Len()
 		p.stats.BytesSent, p.stats.BytesRecv = sentRecvSince(p.workers, start0)
-		p.logw.printf("session %s: %d levels, %d states, %dB sent, %dB received (completed=%v)",
-			n.Name, p.stats.Levels, p.stats.States, p.stats.BytesSent, p.stats.BytesRecv, completed)
+		p.logw.printf("session %s: %d levels, %d states, %dB sent, %dB received (trimmed=%v, completed=%v)",
+			n.Name, p.stats.Levels, p.stats.States, p.stats.BytesSent, p.stats.BytesRecv, trim, completed)
 		return completed, nil
 	}
 	for levelStart := 0; ; {
@@ -261,10 +322,33 @@ func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.Ex
 		if levelStart == levelEnd {
 			return finish(true)
 		}
-		payload = appendExpand(payload[:0], levelStart, levelEnd, deltas)
-		for i, c := range p.workers {
-			if err := c.send(msgExpand, payload); err != nil {
-				return false, fmt.Errorf("dist: expand to worker %d: %w", i, err)
+		if trim {
+			// Per-worker batches: each worker receives only the records
+			// whose child it owns. Vector attachment mirrors the
+			// worker's cache in lockstep (see vcache.go): owned parents
+			// never ship, boundary parents ship on cache miss.
+			for i, c := range p.workers {
+				recs := pending[i]
+				for k := range recs {
+					if owner(recs[k].Parent) == i {
+						continue
+					}
+					if !vcaches[i].hit(recs[k].Parent) {
+						recs[k].ParentVec = store.At(recs[k].Parent)
+					}
+				}
+				payload = appendExpandTrim(payload[:0], levelStart, levelEnd, recs)
+				if err := c.send(msgExpand, payload); err != nil {
+					return false, fmt.Errorf("dist: expand to worker %d: %w", i, err)
+				}
+				pending[i] = recs[:0]
+			}
+		} else {
+			payload = appendExpand(payload[:0], levelStart, levelEnd, deltas)
+			for i, c := range p.workers {
+				if err := c.send(msgExpand, payload); err != nil {
+					return false, fmt.Errorf("dist: expand to worker %d: %w", i, err)
+				}
 			}
 		}
 		// Gather every stream before merging: the merge interleaves them
@@ -283,7 +367,7 @@ func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.Ex
 		// petri.RunFrontier.
 		deltas = deltas[:0]
 		for id := levelStart; id < levelEnd; id++ {
-			ow := petri.ShardOwner(petri.ShardOfHash(store.HashAt(petri.MarkID(id)), S), S, W)
+			ow := owner(petri.MarkID(id))
 			cands, err := streams[ow].nextState(id)
 			if err != nil {
 				return false, fmt.Errorf("dist: worker %d stream: %w", ow, err)
@@ -331,7 +415,14 @@ func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.Ex
 						continue
 					}
 					g, _ := store.InternHashed(scratch, h)
-					deltas = append(deltas, petri.Delta{Parent: petri.MarkID(id), Trans: int32(trans)})
+					if trim {
+						cw := petri.ShardOwner(petri.ShardOfHash(h, S), S, W)
+						pending[cw] = append(pending[cw], petri.VecDelta{
+							Child: g, Parent: petri.MarkID(id), Trans: int32(trans),
+						})
+					} else {
+						deltas = append(deltas, petri.Delta{Parent: petri.MarkID(id), Trans: int32(trans)})
+					}
 					hooks.Edge(petri.MarkID(id), int32(trans), g, true)
 				default:
 					return false, fmt.Errorf("dist: worker %d: unknown candidate tag %d", ow, tag)

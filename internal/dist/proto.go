@@ -8,6 +8,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/petri"
 )
@@ -20,8 +21,11 @@ import (
 // multiplex.
 
 const (
-	protoMagic   = "qssd"
-	protoVersion = 1
+	protoMagic = "qssd"
+	// Version 2: hello carries capability flags, init carries the
+	// replica mode, trimmed sessions ship VecDelta batches, and session
+	// end is a stats round trip instead of a one-way done.
+	protoVersion = 2
 	// maxFrame bounds a single message payload; a level's candidate
 	// stream is the largest message and stays far below this for any
 	// exploration that fits in memory.
@@ -35,7 +39,16 @@ const (
 	msgExpand byte = 3 // coordinator -> worker, one level
 	msgResult byte = 4 // worker -> coordinator, one level's candidates
 	msgDone   byte = 5 // coordinator -> worker, session end
+	msgStats  byte = 7 // worker -> coordinator, reply to done
 	msgError  byte = 6 // either direction, carries a message string
+)
+
+// Hello capability flags.
+const (
+	// helloFullReplicas: the worker insists on full-replica sessions
+	// (cmd/qssd -full-replicas); the coordinator downgrades the whole
+	// pool, which changes memory and traffic but never results.
+	helloFullReplicas = 1 << 0
 )
 
 // Candidate tags within a result stream.
@@ -117,24 +130,32 @@ func (c *conn) expect(typ byte) ([]byte, error) {
 	return payload, nil
 }
 
-func (c *conn) sendHello() error {
-	return c.send(msgHello, binary.AppendUvarint([]byte(protoMagic), protoVersion))
+func (c *conn) sendHello(flags uint64) error {
+	payload := binary.AppendUvarint([]byte(protoMagic), protoVersion)
+	payload = binary.AppendUvarint(payload, flags)
+	return c.send(msgHello, payload)
 }
 
-func checkHello(payload []byte) error {
+func checkHello(payload []byte) (flags uint64, err error) {
 	if len(payload) < len(protoMagic) || string(payload[:len(protoMagic)]) != protoMagic {
-		return fmt.Errorf("dist: bad hello magic")
+		return 0, fmt.Errorf("dist: bad hello magic")
 	}
-	v, n := binary.Uvarint(payload[len(protoMagic):])
+	buf := payload[len(protoMagic):]
+	v, n := binary.Uvarint(buf)
 	if n <= 0 || v != protoVersion {
-		return fmt.Errorf("dist: protocol version %d (want %d)", v, protoVersion)
+		return 0, fmt.Errorf("dist: protocol version %d (want %d)", v, protoVersion)
 	}
-	return nil
+	flags, n = binary.Uvarint(buf[n:])
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: hello flags missing")
+	}
+	return flags, nil
 }
 
 // initMsg is the decoded session-start payload.
 type initMsg struct {
 	index, workers, shards int
+	trim                   bool
 	net                    *petri.Net
 	spec                   petri.ExpandSpec
 	roots                  []petri.Marking
@@ -144,6 +165,11 @@ func appendInit(dst []byte, m *initMsg) []byte {
 	dst = binary.AppendUvarint(dst, uint64(m.index))
 	dst = binary.AppendUvarint(dst, uint64(m.workers))
 	dst = binary.AppendUvarint(dst, uint64(m.shards))
+	trim := uint64(0)
+	if m.trim {
+		trim = 1
+	}
+	dst = binary.AppendUvarint(dst, trim)
 	dst = petri.AppendNet(dst, m.net)
 	dst = binary.AppendUvarint(dst, uint64(len(m.spec.Mask)))
 	for _, w := range m.spec.Mask {
@@ -172,6 +198,7 @@ func decodeInit(buf []byte) (*initMsg, error) {
 		return v
 	}
 	m.index, m.workers, m.shards = int(u()), int(u()), int(u())
+	m.trim = u() != 0
 	if err != nil {
 		return nil, fmt.Errorf("dist: init header: %w", err)
 	}
@@ -224,11 +251,14 @@ func decodeInit(buf []byte) (*initMsg, error) {
 }
 
 // expandMsg is the decoded per-level payload: the frontier id range and
-// the delta batch creating it (empty on the first level, whose states
-// arrived as init roots).
+// the batch creating it (empty on the first level, whose states arrived
+// as init roots). Full-replica sessions broadcast one Delta batch to
+// every worker; trimmed sessions send each worker only the VecDelta
+// records whose child it owns.
 type expandMsg struct {
 	start, end int
 	deltas     []petri.Delta
+	recs       []petri.VecDelta
 }
 
 func appendExpand(dst []byte, start, end int, deltas []petri.Delta) []byte {
@@ -237,20 +267,78 @@ func appendExpand(dst []byte, start, end int, deltas []petri.Delta) []byte {
 	return petri.AppendDeltas(dst, deltas)
 }
 
-func decodeExpand(buf []byte, deltas []petri.Delta) (*expandMsg, []petri.Delta, error) {
+func appendExpandTrim(dst []byte, start, end int, recs []petri.VecDelta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(start))
+	dst = binary.AppendUvarint(dst, uint64(end))
+	return petri.AppendVecDeltas(dst, recs)
+}
+
+func decodeExpand(buf []byte, trim bool, deltas []petri.Delta, recs []petri.VecDelta) (*expandMsg, []petri.Delta, []petri.VecDelta, error) {
 	s, buf, err := decodeUvarint(buf)
 	if err != nil {
-		return nil, deltas, fmt.Errorf("dist: expand start: %w", err)
+		return nil, deltas, recs, fmt.Errorf("dist: expand start: %w", err)
 	}
 	e, buf, err := decodeUvarint(buf)
 	if err != nil {
-		return nil, deltas, fmt.Errorf("dist: expand end: %w", err)
+		return nil, deltas, recs, fmt.Errorf("dist: expand end: %w", err)
+	}
+	if trim {
+		recs, _, err = petri.DecodeVecDeltas(recs[:0], buf)
+		if err != nil {
+			return nil, deltas, recs, err
+		}
+		return &expandMsg{start: int(s), end: int(e), recs: recs}, deltas, recs, nil
 	}
 	deltas, _, err = petri.DecodeDeltas(deltas[:0], buf)
 	if err != nil {
-		return nil, deltas, err
+		return nil, deltas, recs, err
 	}
-	return &expandMsg{start: int(s), end: int(e), deltas: deltas}, deltas, nil
+	return &expandMsg{start: int(s), end: int(e), deltas: deltas}, deltas, recs, nil
+}
+
+// WorkerMem is one worker's end-of-session replica accounting, shipped
+// in the msgStats reply to done. Store, bits and cache bytes are exact
+// live counts — pure functions of the interned sequence, comparable
+// across processes and machines — which is what lets CI gate trimmed
+// against full replicas with strict byte ratios. HeapBytes is the Go
+// runtime's live-heap figure at session end: machine-dependent,
+// informational only.
+type WorkerMem struct {
+	States     int   // markings held in the worker's store
+	StoreBytes int64 // MarkingStore.ArenaBytes() + the local->global id table (4B per held state when trimmed)
+	BitsBytes  int64 // enabled-set arena (len * 8)
+	CacheBytes int64 // boundary-parent vector cache payload
+	HeapBytes  int64 // runtime.MemStats.HeapAlloc (informational)
+}
+
+func appendStats(dst []byte, m WorkerMem) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.States))
+	dst = binary.AppendUvarint(dst, uint64(m.StoreBytes))
+	dst = binary.AppendUvarint(dst, uint64(m.BitsBytes))
+	dst = binary.AppendUvarint(dst, uint64(m.CacheBytes))
+	dst = binary.AppendUvarint(dst, uint64(m.HeapBytes))
+	return dst
+}
+
+func decodeStats(buf []byte) (WorkerMem, error) {
+	var m WorkerMem
+	var err error
+	u := func() uint64 {
+		var v uint64
+		if err == nil {
+			v, buf, err = decodeUvarint(buf)
+		}
+		return v
+	}
+	m.States = int(u())
+	m.StoreBytes = int64(u())
+	m.BitsBytes = int64(u())
+	m.CacheBytes = int64(u())
+	m.HeapBytes = int64(u())
+	if err != nil {
+		return WorkerMem{}, fmt.Errorf("dist: stats: %w", err)
+	}
+	return m, nil
 }
 
 func decodeUvarint(buf []byte) (uint64, []byte, error) {
@@ -266,9 +354,69 @@ func decodeUvarint(buf []byte) (uint64, []byte, error) {
 // <role>-<pid>.log there (the CI determinism job uploads the directory
 // on failure); otherwise output goes to the fallback writer — discard
 // for coordinators and SpawnLocal workers (whose stderr is the
-// parent's), stderr for the standalone qssd worker.
+// parent's), stderr for the standalone qssd worker. File-backed logs
+// are size-capped: a long test run (the determinism matrix reuses pids
+// across hundreds of sessions) rotates <name>.log to <name>.log.1 at
+// logFileCap bytes instead of growing without bound, keeping at most
+// two generations per process.
 type logWriter struct {
 	l *log.Logger
+}
+
+// logFileCap is the per-generation size cap of a file-backed dist log.
+const logFileCap = 4 << 20
+
+// rotatingFile is an io.Writer appending to path until the current
+// generation exceeds logFileCap, then renaming it to path+".1"
+// (replacing the previous rollover) and starting fresh. One process
+// may hold many logWriters on the same path (every in-process pipe
+// worker and coordinator shares the pid), so instances are deduped per
+// path (see logFileFor) and Write carries its own mutex: the cap and
+// the rollover are per FILE, not per handle.
+type rotatingFile struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	n    int64
+}
+
+// logFiles dedupes rotatingFile instances per path within the process.
+var logFiles sync.Map // path -> *rotatingFile
+
+func logFileFor(path string) (*rotatingFile, error) {
+	if r, ok := logFiles.Load(path); ok {
+		return r.(*rotatingFile), nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := &rotatingFile{path: path, f: f}
+	if st, err := f.Stat(); err == nil {
+		r.n = st.Size()
+	}
+	if prev, loaded := logFiles.LoadOrStore(path, r); loaded {
+		f.Close()
+		return prev.(*rotatingFile), nil
+	}
+	return r, nil
+}
+
+func (r *rotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n+int64(len(p)) > logFileCap {
+		r.f.Close()
+		os.Rename(r.path, r.path+".1")
+		f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return 0, err
+		}
+		r.f, r.n = f, 0
+	}
+	n, err := r.f.Write(p)
+	r.n += int64(n)
+	return n, err
 }
 
 func newLogWriter(role string) *logWriter { return newLogWriterTo(role, io.Discard) }
@@ -276,9 +424,7 @@ func newLogWriter(role string) *logWriter { return newLogWriterTo(role, io.Disca
 func newLogWriterTo(role string, fallback io.Writer) *logWriter {
 	w := fallback
 	if dir := os.Getenv(EnvLogDir); dir != "" {
-		f, err := os.OpenFile(
-			filepath.Join(dir, fmt.Sprintf("%s-%d.log", role, os.Getpid())),
-			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := logFileFor(filepath.Join(dir, fmt.Sprintf("%s-%d.log", role, os.Getpid())))
 		if err == nil {
 			w = f
 		}

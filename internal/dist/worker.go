@@ -5,18 +5,41 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"sort"
 
 	"repro/internal/petri"
 )
 
 // Worker side: a replica of the exploration state plus the serve loop.
 //
-// A worker holds the full store and enabled-set arena, rebuilt from the
-// per-level delta broadcasts, so every worker agrees with the
-// coordinator about dense MarkIDs without ever being told them
-// explicitly. It expands exactly the frontier states whose shard it
-// owns and classifies each successor as veto / known / new; ordering
-// decisions stay with the coordinator.
+// In the default trimmed mode a worker holds marking vectors, hashes
+// and enabled bitsets ONLY for the hash shards it owns: the coordinator
+// sends it just the VecDelta records whose child lands in those shards,
+// attaching the parent's token vector when the parent belongs to
+// another worker (the worker can no longer re-fire from a full local
+// replica). Per-worker memory therefore scales with owned states,
+// ~1/N of the state space — the property that takes explorations past
+// one machine's RAM. In the full-replica fallback every worker rebuilds
+// the whole store from the broadcast Delta batches, trading memory
+// parity with the coordinator for coordinator-side work: a full replica
+// classifies every successor locally, while a trimmed one reports
+// successors of foreign shards as new and leaves resolution to the
+// coordinator's merge.
+//
+// Either way the worker expands exactly the frontier states whose shard
+// it owns and classifies each successor as veto / known / new; ordering
+// decisions stay with the coordinator, so results are byte-identical
+// across modes and worker counts.
+
+// WorkerOptions configures a worker's serve loop.
+type WorkerOptions struct {
+	// FullReplicas advertises (via hello) that this worker refuses
+	// trimmed sessions; the coordinator downgrades the pool to
+	// full-replica mode. For memory-rich workers that prefer local
+	// successor classification over coordinator-side resolution.
+	FullReplicas bool
+}
 
 // replica is one session's worker-side state.
 type replica struct {
@@ -29,6 +52,18 @@ type replica struct {
 	bits    []uint64
 	scratch petri.Marking
 
+	// Trimmed-mode state: gids maps the store's dense local ids to the
+	// coordinator's global MarkIDs (strictly ascending, so the inverse
+	// is a binary search), vcache holds boundary-parent vectors in
+	// lockstep with the coordinator, and nextStart/levels validate that
+	// expand messages arrive in frontier order.
+	trim      bool
+	gids      []petri.MarkID
+	vcache    *vecCache
+	rootCount int
+	nextStart int
+	levels    int
+
 	index, workers, shards int
 }
 
@@ -36,6 +71,7 @@ func newReplica(m *initMsg) (*replica, error) {
 	r := &replica{
 		net:     m.net,
 		spec:    m.spec,
+		trim:    m.trim,
 		index:   m.index,
 		workers: m.workers,
 		shards:  m.shards,
@@ -50,28 +86,76 @@ func newReplica(m *initMsg) (*replica, error) {
 	if len(m.spec.Caps) != len(r.net.Places) {
 		return nil, fmt.Errorf("dist: spec caps cover %d places, net has %d", len(m.spec.Caps), len(r.net.Places))
 	}
+	if r.trim {
+		r.vcache = newVecCache()
+	}
+	r.rootCount = len(m.roots)
 	for i, root := range m.roots {
 		if len(root) != len(r.net.Places) {
 			return nil, fmt.Errorf("dist: root %d has %d places, net has %d", i, len(root), len(r.net.Places))
 		}
-		id, isNew := r.store.Intern(root)
-		if !isNew || int(id) != i {
+		h := petri.HashMarking(root)
+		if r.trim && !r.ownsHash(h) {
+			continue
+		}
+		id, isNew := r.store.InternHashed(root, h)
+		if !isNew {
 			return nil, fmt.Errorf("dist: duplicate root %d", i)
 		}
+		if !r.trim && int(id) != i {
+			return nil, fmt.Errorf("dist: root %d interned as %d", i, id)
+		}
+		if r.trim {
+			r.gids = append(r.gids, petri.MarkID(i))
+		}
+		base := len(r.bits)
 		r.bits = append(r.bits, make([]uint64, r.stride)...)
-		r.tracker.Init(r.bits[i*r.stride:(i+1)*r.stride], root)
+		r.tracker.Init(r.bits[base:base+r.stride], root)
 	}
 	return r, nil
 }
 
-// owns reports whether this worker's shard range contains state id.
-func (r *replica) owns(id petri.MarkID) bool {
-	sh := petri.ShardOfHash(r.store.HashAt(id), r.shards)
+// ownsHash reports whether this worker's shard range contains the
+// marking hash.
+func (r *replica) ownsHash(h uint64) bool {
+	sh := petri.ShardOfHash(h, r.shards)
 	return petri.ShardOwner(sh, r.shards, r.workers) == r.index
 }
 
-// applyDelta re-fires one (parent, trans) discovery, growing the store
-// and the enabled-set arena exactly as the coordinator's merge did.
+// owns reports whether this worker's shard range contains state id
+// (a local store id).
+func (r *replica) owns(id petri.MarkID) bool {
+	return r.ownsHash(r.store.HashAt(id))
+}
+
+// gid maps a local store id to the coordinator's global MarkID — the
+// identity in full-replica mode.
+func (r *replica) gid(local petri.MarkID) petri.MarkID {
+	if !r.trim {
+		return local
+	}
+	return r.gids[local]
+}
+
+// localOf inverts gid: binary search over the ascending gids table in
+// trimmed mode, a bounds check otherwise.
+func (r *replica) localOf(g petri.MarkID) (petri.MarkID, bool) {
+	if !r.trim {
+		if int(g) >= r.store.Len() {
+			return petri.NoMark, false
+		}
+		return g, true
+	}
+	i := sort.Search(len(r.gids), func(i int) bool { return r.gids[i] >= g })
+	if i < len(r.gids) && r.gids[i] == g {
+		return petri.MarkID(i), true
+	}
+	return petri.NoMark, false
+}
+
+// applyDelta re-fires one (parent, trans) discovery of a full-replica
+// session, growing the store and the enabled-set arena exactly as the
+// coordinator's merge did.
 func (r *replica) applyDelta(d petri.Delta) error {
 	if int(d.Parent) >= r.store.Len() {
 		return fmt.Errorf("dist: delta parent %d beyond store (%d states)", d.Parent, r.store.Len())
@@ -96,9 +180,72 @@ func (r *replica) applyDelta(d petri.Delta) error {
 	return nil
 }
 
-// expandLevel applies the level's deltas and expands the owned frontier
+// applyRec interns one owned child of a trimmed session. The parent
+// vector comes from the owned store, from the record itself, or from
+// the boundary-parent cache (whose state mirrors the coordinator's; a
+// miss is a protocol failure, not a recoverable condition). A child
+// derived from a shipped or cached vector gets its enabled set from
+// tracker.Init — the incremental Update needs the parent's bitset,
+// which only owned parents have. Init and Update agree bit-for-bit.
+func (r *replica) applyRec(rec petri.VecDelta) error {
+	if int(rec.Trans) < 0 || int(rec.Trans) >= len(r.net.Transitions) {
+		return fmt.Errorf("dist: record transition %d out of range", rec.Trans)
+	}
+	t := r.net.Transitions[rec.Trans]
+	var pv petri.Marking
+	parentLocal := petri.NoMark
+	if local, ok := r.localOf(rec.Parent); ok {
+		if rec.ParentVec != nil {
+			return fmt.Errorf("dist: record ships a vector for owned parent %d", rec.Parent)
+		}
+		parentLocal = local
+		pv = r.store.At(local)
+	} else if rec.ParentVec != nil {
+		if len(rec.ParentVec) != len(r.net.Places) {
+			return fmt.Errorf("dist: record parent %d vector has %d places, net has %d", rec.Parent, len(rec.ParentVec), len(r.net.Places))
+		}
+		pv = rec.ParentVec
+		r.vcache.insert(rec.Parent, rec.ParentVec)
+	} else {
+		var ok bool
+		pv, ok = r.vcache.get(rec.Parent)
+		if !ok {
+			return fmt.Errorf("dist: record parent %d neither owned, shipped nor cached — coordinator/worker cache drift", rec.Parent)
+		}
+	}
+	if !pv.Enabled(t) {
+		return fmt.Errorf("dist: record fires disabled transition %s at parent %d", t.Name, rec.Parent)
+	}
+	r.scratch = pv.FireInto(r.scratch, t)
+	h := petri.HashMarking(r.scratch)
+	if !r.ownsHash(h) {
+		return fmt.Errorf("dist: record child %d routes outside this worker's shards", rec.Child)
+	}
+	id, isNew := r.store.InternHashed(r.scratch, h)
+	if !isNew {
+		return fmt.Errorf("dist: record (%d, %s) re-discovers state %d", rec.Parent, t.Name, r.gid(id))
+	}
+	if n := len(r.gids); n > 0 && r.gids[n-1] >= rec.Child {
+		return fmt.Errorf("dist: record child %d not ascending (last %d)", rec.Child, r.gids[n-1])
+	}
+	r.gids = append(r.gids, rec.Child)
+	base := len(r.bits)
+	r.bits = append(r.bits, make([]uint64, r.stride)...)
+	if parentLocal != petri.NoMark {
+		r.tracker.Update(r.bits[base:base+r.stride],
+			r.bits[int(parentLocal)*r.stride:(int(parentLocal)+1)*r.stride], int(rec.Trans), r.store.At(id))
+	} else {
+		r.tracker.Init(r.bits[base:base+r.stride], r.store.At(id))
+	}
+	return nil
+}
+
+// expandLevel applies the level's batch and expands the owned frontier
 // states, appending the result payload to dst.
 func (r *replica) expandLevel(dst []byte, msg *expandMsg) ([]byte, error) {
+	if r.trim {
+		return r.expandLevelTrim(dst, msg)
+	}
 	// The deltas must create exactly the frontier [start, end) on top of
 	// the current replica — except on the first level, whose frontier is
 	// the roots that arrived with init (no deltas).
@@ -132,10 +279,44 @@ func (r *replica) expandLevel(dst []byte, msg *expandMsg) ([]byte, error) {
 	return dst, nil
 }
 
+// expandLevelTrim is expandLevel for a trimmed session: the batch holds
+// only this worker's owned children, so the new frontier slice is
+// exactly the locals the records intern.
+func (r *replica) expandLevelTrim(dst []byte, msg *expandMsg) ([]byte, error) {
+	if r.levels == 0 {
+		if msg.start != 0 || msg.end != r.rootCount || len(msg.recs) != 0 {
+			return nil, fmt.Errorf("dist: first expand [%d,%d) with %d records does not match %d roots",
+				msg.start, msg.end, len(msg.recs), r.rootCount)
+		}
+	} else if msg.start != r.nextStart || msg.end < msg.start {
+		return nil, fmt.Errorf("dist: expand range [%d,%d) does not extend frontier at %d", msg.start, msg.end, r.nextStart)
+	}
+	levelLo := r.store.Len()
+	if r.levels == 0 {
+		levelLo = 0 // the roots interned at init are the first frontier
+	}
+	for _, rec := range msg.recs {
+		if int(rec.Child) < msg.start || int(rec.Child) >= msg.end {
+			return nil, fmt.Errorf("dist: record child %d outside frontier [%d,%d)", rec.Child, msg.start, msg.end)
+		}
+		if err := r.applyRec(rec); err != nil {
+			return nil, err
+		}
+	}
+	r.nextStart = msg.end
+	r.levels++
+	owned := r.store.Len() - levelLo
+	dst = binary.AppendUvarint(dst, uint64(owned))
+	for local := levelLo; local < r.store.Len(); local++ {
+		dst = r.expandState(dst, petri.MarkID(local))
+	}
+	return dst, nil
+}
+
 // expandState emits one owned state's candidate stream: the fireable
 // enabled ECSs in partition order, members in ascending transition
 // order — the serial loop's emit order, which the coordinator's merge
-// depends on.
+// depends on. id is a LOCAL store id; the stream names global ids.
 func (r *replica) expandState(dst []byte, id petri.MarkID) []byte {
 	m := r.store.At(id)
 	bits := r.bits[int(id)*r.stride : (int(id)+1)*r.stride]
@@ -145,7 +326,7 @@ func (r *replica) expandState(dst []byte, id petri.MarkID) []byte {
 	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
 		cands += len(r.part[ei].Trans)
 	})
-	dst = binary.AppendUvarint(dst, uint64(id))
+	dst = binary.AppendUvarint(dst, uint64(r.gid(id)))
 	dst = binary.AppendUvarint(dst, uint64(cands))
 	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
 		for _, tid := range r.part[ei].Trans {
@@ -165,24 +346,52 @@ func (r *replica) expandState(dst []byte, id petri.MarkID) []byte {
 }
 
 // classify resolves the scratch successor: ok=false for a cap veto,
-// otherwise the replica-known MarkID or NoMark for a first sighting.
+// otherwise the replica-known global MarkID or NoMark for a successor
+// this worker cannot resolve — a first sighting, or (trimmed mode) any
+// successor routing to another worker's shards, which the coordinator's
+// merge resolves against the authoritative store.
 func (r *replica) classify() (petri.MarkID, bool) {
 	if r.spec.Veto(r.scratch) {
 		return petri.NoMark, false
 	}
-	if gid, ok := r.store.Lookup(r.scratch); ok {
-		return gid, true
+	h := petri.HashMarking(r.scratch)
+	if r.trim && !r.ownsHash(h) {
+		return petri.NoMark, true
+	}
+	if local, ok := r.store.LookupHashed(r.scratch, h); ok {
+		return r.gid(local), true
 	}
 	return petri.NoMark, true
+}
+
+// memStats summarizes the replica's memory for the end-of-session
+// stats reply.
+func (r *replica) memStats() WorkerMem {
+	m := WorkerMem{
+		States:     r.store.Len(),
+		StoreBytes: int64(r.store.ArenaBytes()) + int64(len(r.gids))*4,
+		BitsBytes:  int64(len(r.bits)) * 8,
+	}
+	if r.vcache != nil {
+		m.CacheBytes = int64(r.vcache.bytes())
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapBytes = int64(ms.HeapAlloc)
+	return m
 }
 
 // ServeConn runs the worker side of a coordinator connection: hello,
 // then exploration sessions until the coordinator closes the
 // connection. It is the body of both spawned workers (MaybeWorker) and
 // the standalone cmd/qssd binary.
-func ServeConn(nc net.Conn, logw *logWriter) error {
+func ServeConn(nc net.Conn, logw *logWriter, opt WorkerOptions) error {
 	c := newConn(nc)
-	if err := c.sendHello(); err != nil {
+	var flags uint64
+	if opt.FullReplicas {
+		flags |= helloFullReplicas
+	}
+	if err := c.sendHello(flags); err != nil {
 		return err
 	}
 	for {
@@ -201,23 +410,33 @@ func ServeConn(nc net.Conn, logw *logWriter) error {
 		if err != nil {
 			return workerFail(c, err)
 		}
+		if init.trim && opt.FullReplicas {
+			return workerFail(c, fmt.Errorf("dist: trimmed session offered to a full-replicas-only worker"))
+		}
 		if err := serveSession(c, init, logw); err != nil {
 			return workerFail(c, err)
 		}
 	}
 }
 
-// serveSession runs one exploration: apply each level's deltas, expand
+// serveSession runs one exploration: apply each level's batch, expand
 // the owned slice of the frontier, reply, until done.
 func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 	r, err := newReplica(init)
 	if err != nil {
 		return err
 	}
-	logw.printf("session start: net %s (%d places, %d transitions), worker %d/%d over %d shards, %d roots",
-		r.net.Name, len(r.net.Places), len(r.net.Transitions), r.index, r.workers, r.shards, r.store.Len())
+	mode := "full-replica"
+	if r.trim {
+		mode = "trimmed"
+	}
+	shardLo, shardHi := petri.OwnedShardRange(r.index, r.shards, r.workers)
+	logw.printf("session start: net %s (%d places, %d transitions), worker %d/%d owning shards [%d,%d) of %d (%s), %d roots (%d owned)",
+		r.net.Name, len(r.net.Places), len(r.net.Transitions), r.index, r.workers,
+		shardLo, shardHi, r.shards, mode, r.rootCount, r.store.Len())
 	levels := 0
 	var deltas []petri.Delta
+	var recs []petri.VecDelta
 	var out []byte
 	for {
 		typ, payload, err := c.recv()
@@ -226,11 +445,16 @@ func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 		}
 		switch typ {
 		case msgDone:
-			logw.printf("session end: %d levels, %d states replicated", levels, r.store.Len())
+			mem := r.memStats()
+			logw.printf("session end: %d levels, %d states held, %dB store, %dB bits, %dB cache",
+				levels, mem.States, mem.StoreBytes, mem.BitsBytes, mem.CacheBytes)
+			if err := c.send(msgStats, appendStats(nil, mem)); err != nil {
+				return err
+			}
 			return nil
 		case msgExpand:
 			var msg *expandMsg
-			msg, deltas, err = decodeExpand(payload, deltas)
+			msg, deltas, recs, err = decodeExpand(payload, r.trim, deltas, recs)
 			if err != nil {
 				return err
 			}

@@ -98,7 +98,9 @@ func (s *ExpandSpec) Veto(m Marking) bool {
 // level-synchronous frontier exploration. The in-process RunFrontier
 // fans expansion out over goroutines; a distributed runner (package
 // internal/dist) ships the net and spec to worker processes owning
-// hash ranges of the marking space and feeds their candidate batches
+// hash ranges of the marking space — holding either a full replica
+// rebuilt from Delta batches or, by default, only their owned shards
+// fed by VecDelta batches — and feeds their candidate batches
 // through the same sequential merge. Implementations must invoke the
 // MergeHooks in exactly the serial discovery order (states ascending,
 // emit order within a state), so results are byte-identical to the

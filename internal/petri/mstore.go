@@ -187,3 +187,12 @@ func (s *MarkingStore) All() iter.Seq2[MarkID, Marking] {
 func (s *MarkingStore) MemBytes() int {
 	return cap(s.tokens)*8 + cap(s.hashes)*8 + cap(s.table)*4
 }
+
+// ArenaBytes returns the store's live byte count: token arena, hashes
+// and probe table at their exact lengths, independent of append growth
+// policy. It is a pure function of the interned marking sequence, so
+// distributed memory accounting (the per-worker replica-size gate in
+// CI) can compare values across processes and machines byte-for-byte.
+func (s *MarkingStore) ArenaBytes() int {
+	return len(s.tokens)*8 + len(s.hashes)*8 + len(s.table)*4
+}

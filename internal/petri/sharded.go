@@ -59,6 +59,15 @@ func ShardOwner(shard uint32, shards, workers int) int {
 	return int(uint64(shard) * uint64(workers) / uint64(shards))
 }
 
+// OwnedShardRange returns the contiguous shard range [lo, hi) that
+// ShardOwner assigns to one worker — the inverse view of the same
+// mapping, used for logging and for sizing trimmed worker replicas.
+func OwnedShardRange(worker, shards, workers int) (lo, hi int) {
+	lo = (worker*shards + workers - 1) / workers
+	hi = ((worker+1)*shards + workers - 1) / workers
+	return lo, hi
+}
+
 // NumFrontierShards returns the shard count the frontier pipelines use
 // for a given worker count: a power of two at least 4x the workers (so
 // ranges stay balanced) capped at 256.

@@ -10,10 +10,14 @@ import (
 // processes: the net itself (once per session), full token vectors (the
 // root states seeding a session), and per-level delta batches — compact
 // (parent, transition) pairs from which a replica derives each newly
-// discovered marking by re-firing, so steady-state traffic never
-// carries vectors at all. Everything is length-checked varint encoding:
-// deterministic, endian-free, and append-only so encoders can reuse
-// buffers.
+// discovered marking by re-firing. Full-replica sessions broadcast
+// plain Delta batches and ship no vectors in steady state; trimmed
+// sessions (workers holding only their owned hash shards) ship VecDelta
+// batches, which additionally name the discovered child's global id and
+// optionally carry the parent's token vector when the receiving worker
+// does not own the parent and so cannot re-fire from local state.
+// Everything is length-checked varint encoding: deterministic,
+// endian-free, and append-only so encoders can reuse buffers.
 //
 // The net encoding carries exactly the structure exploration needs —
 // names, kinds, initial markings, bounds, labels and the weighted arc
@@ -97,6 +101,84 @@ func DecodeDeltas(ds []Delta, buf []byte) ([]Delta, []byte, error) {
 			return nil, nil, fmt.Errorf("petri: delta %d: %w", i, err)
 		}
 		ds = append(ds, Delta{Parent: MarkID(p), Trans: int32(t)})
+	}
+	return ds, buf, nil
+}
+
+// VecDelta is one state-discovery record of a trimmed-replica
+// exploration: worker processes holding only their owned hash shards
+// receive exactly the records whose Child they own, so the record names
+// the child's global id explicitly (the dense numbering is no longer
+// implied by batch position) and, when the receiver does not hold
+// Parent either, carries the parent's token vector so the child can
+// still be derived by re-firing. ParentVec == nil means the receiver
+// already has the parent — in its owned store, or in its
+// boundary-parent cache from an earlier record.
+type VecDelta struct {
+	Child     MarkID
+	Parent    MarkID
+	Trans     int32
+	ParentVec Marking
+}
+
+// AppendVecDeltas appends a trimmed-replica delta batch to dst. Child
+// ids must be strictly ascending (they are discovery-ordered global
+// ids); they are gap-encoded against the previous record so a level's
+// batch costs about one byte per record over the (parent, transition)
+// pair, plus the vectors actually attached.
+func AppendVecDeltas(dst []byte, ds []VecDelta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	prev := uint64(0)
+	for _, d := range ds {
+		dst = binary.AppendUvarint(dst, uint64(d.Child)-prev)
+		prev = uint64(d.Child)
+		hasVec := uint64(0)
+		if d.ParentVec != nil {
+			hasVec = 1
+		}
+		dst = binary.AppendUvarint(dst, uint64(d.Parent)<<1|hasVec)
+		dst = binary.AppendUvarint(dst, uint64(d.Trans))
+		if d.ParentVec != nil {
+			dst = AppendMarking(dst, d.ParentVec)
+		}
+	}
+	return dst
+}
+
+// DecodeVecDeltas decodes a batch encoded by AppendVecDeltas from the
+// front of buf, appending to ds, and returns the batch and remaining
+// bytes. Attached vectors are freshly allocated (a receiver caches
+// boundary-parent vectors beyond the life of the read buffer).
+func DecodeVecDeltas(ds []VecDelta, buf []byte) ([]VecDelta, []byte, error) {
+	n, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("petri: vec-delta count: %w", err)
+	}
+	if n > uint64(len(buf)) { // every record needs >= 3 bytes
+		return nil, nil, fmt.Errorf("petri: vec-delta count %d exceeds payload", n)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var gap, pv, t uint64
+		gap, buf, err = decodeUvarint(buf)
+		if err == nil {
+			pv, buf, err = decodeUvarint(buf)
+		}
+		if err == nil {
+			t, buf, err = decodeUvarint(buf)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("petri: vec-delta %d: %w", i, err)
+		}
+		d := VecDelta{Child: MarkID(prev + gap), Parent: MarkID(pv >> 1), Trans: int32(t)}
+		prev += gap
+		if pv&1 != 0 {
+			d.ParentVec, buf, err = DecodeMarking(buf)
+			if err != nil {
+				return nil, nil, fmt.Errorf("petri: vec-delta %d vector: %w", i, err)
+			}
+		}
+		ds = append(ds, d)
 	}
 	return ds, buf, nil
 }

@@ -2,6 +2,7 @@ package petri
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -154,6 +155,117 @@ func TestMarkingWireRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestVecDeltaWireRoundTrip: the trimmed-replica wire shape — child
+// gap encoding, the parent has-vector flag, attached vectors — over
+// batches mixing vector-bearing and bare records.
+func TestVecDeltaWireRoundTrip(t *testing.T) {
+	cases := [][]VecDelta{
+		nil,
+		{{Child: 0, Parent: 0, Trans: 0}},
+		{{Child: 5, Parent: 2, Trans: 1, ParentVec: Marking{1, 0, 3}}},
+		{
+			{Child: 10, Parent: 3, Trans: 2},
+			{Child: 11, Parent: 3, Trans: 7, ParentVec: Marking{0, 0, 0, 4}},
+			{Child: 13, Parent: 9, Trans: 0, ParentVec: Marking{}},
+			{Child: 1 << 21, Parent: 1 << 20, Trans: 255},
+		},
+	}
+	for ci, ds := range cases {
+		enc := AppendVecDeltas(nil, ds)
+		got, rest, err := DecodeVecDeltas(nil, enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d bytes left over", ci, len(rest))
+		}
+		if len(got) != len(ds) {
+			t.Fatalf("case %d: %d records, want %d", ci, len(got), len(ds))
+		}
+		for i := range ds {
+			w, g := ds[i], got[i]
+			if g.Child != w.Child || g.Parent != w.Parent || g.Trans != w.Trans {
+				t.Fatalf("case %d record %d: %+v != %+v", ci, i, g, w)
+			}
+			if (g.ParentVec == nil) != (w.ParentVec == nil) {
+				t.Fatalf("case %d record %d: vector presence differs", ci, i)
+			}
+			if w.ParentVec != nil && !g.ParentVec.Equal(w.ParentVec) {
+				t.Fatalf("case %d record %d: vector %v != %v", ci, i, g.ParentVec, w.ParentVec)
+			}
+		}
+	}
+}
+
+// TestWireErrorPaths: table-driven corrupt inputs for every decoder —
+// truncated varint streams, oversized length/count prefixes that would
+// over-read or over-allocate, and malformed vector-bearing deltas —
+// must all fail with an error, never panic or succeed.
+func TestWireErrorPaths(t *testing.T) {
+	// A varint whose continuation bits never terminate.
+	overlong := bytes.Repeat([]byte{0x80}, 11)
+	validNet := AppendNet(nil, wireTestNet())
+	validVec := AppendVecDeltas(nil, []VecDelta{
+		{Child: 4, Parent: 1, Trans: 2, ParentVec: Marking{1, 2}},
+		{Child: 6, Parent: 4, Trans: 0},
+	})
+	cases := []struct {
+		name   string
+		decode func([]byte) error
+		buf    []byte
+	}{
+		{"marking/empty", decodeMarkingErr, nil},
+		{"marking/overlong-length", decodeMarkingErr, overlong},
+		{"marking/length-exceeds-payload", decodeMarkingErr, binary.AppendUvarint(nil, 1000)},
+		{"marking/truncated-tokens", decodeMarkingErr, binary.AppendUvarint(nil, 3)[:1]},
+		{"marking/token-overlong", decodeMarkingErr, append(binary.AppendUvarint(nil, 2), overlong...)},
+		{"deltas/empty", decodeDeltasErr, nil},
+		{"deltas/count-exceeds-payload", decodeDeltasErr, binary.AppendUvarint(nil, 1<<40)},
+		{"deltas/truncated-pair", decodeDeltasErr, binary.AppendUvarint(nil, 2)},
+		{"vecdeltas/empty", decodeVecDeltasErr, nil},
+		{"vecdeltas/count-exceeds-payload", decodeVecDeltasErr, binary.AppendUvarint(nil, 1<<40)},
+		{"vecdeltas/truncated-record", decodeVecDeltasErr, binary.AppendUvarint(nil, 1)},
+		{"vecdeltas/missing-vector", decodeVecDeltasErr,
+			// One record claiming an attached vector, then nothing.
+			func() []byte {
+				b := binary.AppendUvarint(nil, 1)
+				b = binary.AppendUvarint(b, 4)      // child gap
+				b = binary.AppendUvarint(b, 2<<1|1) // parent 2, hasVec
+				return binary.AppendUvarint(b, 0)   // trans; vector absent
+			}(),
+		},
+		{"vecdeltas/vector-length-exceeds-payload", decodeVecDeltasErr,
+			func() []byte {
+				b := binary.AppendUvarint(nil, 1)
+				b = binary.AppendUvarint(b, 4)
+				b = binary.AppendUvarint(b, 2<<1|1)
+				b = binary.AppendUvarint(b, 0)
+				return binary.AppendUvarint(b, 1<<30) // vector length prefix
+			}(),
+		},
+		{"vecdeltas/truncated-mid-batch", decodeVecDeltasErr, validVec[:len(validVec)-1]},
+		{"net/empty", decodeNetErr, nil},
+		{"net/overlong-name", decodeNetErr, overlong},
+		{"net/name-exceeds-payload", decodeNetErr, binary.AppendUvarint(nil, 1<<25)},
+		{"net/place-count-exceeds-payload", decodeNetErr,
+			append(appendString(nil, "x"), binary.AppendUvarint(nil, 1<<40)...)},
+		{"net/truncated-mid-places", decodeNetErr, validNet[:len(validNet)/3]},
+		{"net/truncated-mid-transitions", decodeNetErr, validNet[:len(validNet)-3]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.decode(tc.buf); err == nil {
+				t.Fatalf("decode of %d corrupt bytes succeeded", len(tc.buf))
+			}
+		})
+	}
+}
+
+func decodeMarkingErr(b []byte) error   { _, _, err := DecodeMarking(b); return err }
+func decodeDeltasErr(b []byte) error    { _, _, err := DecodeDeltas(nil, b); return err }
+func decodeVecDeltasErr(b []byte) error { _, _, err := DecodeVecDeltas(nil, b); return err }
+func decodeNetErr(b []byte) error       { _, _, err := DecodeNet(b); return err }
 
 // TestWireDecodeCorrupt: truncations and bit flips of a valid net
 // encoding must fail cleanly (error), never panic or decode junk that
