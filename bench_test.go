@@ -421,6 +421,58 @@ func BenchmarkExploreDistTrimmed(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreDistPipelined measures the protocol-3 pipelined
+// session on the full 161k-state net at 1, 2 and 4 workers: the
+// streaming merge consumes each worker's chunks as they arrive, record
+// batches overlap the next level's expansion with the current level's
+// merge tail, and candNew candidates resolve by shipped hash. Reported
+// alongside timing: coordinator fires per session (must equal the
+// states materialized — the no-refire property the unit tests pin),
+// candNew count, chunk count and receive bytes per level.
+func BenchmarkExploreDistPipelined(b *testing.B) {
+	const pipes, stages = 5, 11
+	want := 1
+	for i := 0; i < pipes; i++ {
+		want *= stages
+	}
+	opt := petri.ExploreOptions{MaxMarkings: want + 1}
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			pool, err := dist.SpawnLocal(procs)
+			if err != nil {
+				b.Fatalf("spawn %d workers: %v", procs, err)
+			}
+			defer pool.Close()
+			n := exploreLargeNet(pipes, stages)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := n.ExploreDist(pool, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Len() != want || r.Truncated {
+					b.Fatalf("explored %d markings (truncated=%v), want %d", r.Len(), r.Truncated, want)
+				}
+			}
+			b.StopTimer()
+			st := pool.LastSessionStats()
+			if st.Proto != 3 {
+				b.Fatalf("session ran protocol %d, want 3", st.Proto)
+			}
+			if st.CoordFires != int64(want-1) {
+				b.Fatalf("coordinator fired %d times, want one per interned state = %d", st.CoordFires, want-1)
+			}
+			b.ReportMetric(float64(st.CandNew), "candNew")
+			b.ReportMetric(float64(st.CoordFires), "coordFires")
+			b.ReportMetric(float64(st.Chunks), "chunks")
+			if st.Levels > 0 {
+				b.ReportMetric(float64(st.BytesRecv)/float64(st.Levels), "recvB/level")
+			}
+		})
+	}
+}
+
 // dividerNet rebuilds the Figure 7 divider chain for the termination
 // ablation.
 func dividerNet(k int) *petri.Net {

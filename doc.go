@@ -92,14 +92,25 @@
 // every worker rebuilds the whole store, trading memory parity with
 // the coordinator for fully local successor classification. In either
 // mode workers answer with candidate streams classifying each
-// successor as vetoed, known (dense global MarkID) or new. The
-// determinism contract is the coordinator's merge:
-// it is petri.RunFrontier's sequential phase C verbatim (one shared
+// successor as vetoed, known (dense global MarkID) or new — at
+// protocol 3 a new candidate also carries the successor's 64-bit
+// marking hash, which lets the coordinator resolve duplicates by a
+// hash-only store probe instead of re-firing the transition itself
+// (it fires exactly once per state it actually materializes). The
+// session is pipelined rather than barriered: workers push their
+// candidate streams in bounded ack'd chunks as they expand, the
+// coordinator merges each worker's slice of a level while later
+// slices are still in flight, and intra-level record batches plus an
+// explicit level-commit message let workers start expanding level L+1
+// while the coordinator is still merging the tail of L. None of this
+// moves the determinism contract: the coordinator's merge
+// is petri.RunFrontier's sequential phase C verbatim (one shared
 // petri.MergeHooks definition), walking states in MarkID order and
 // candidates in the serial emit order, so dense MarkID assignment —
 // and therefore ReachResult ordering, schedules and generated C — is
 // byte-identical for every process count, every in-process worker
-// count, and the plain serial loop. Exploration semantics travel as a
+// count, and the plain serial loop, no matter how late any worker's
+// stream arrives. Exploration semantics travel as a
 // self-contained petri.ExpandSpec (fireable-ECS mask + place caps) and
 // the net itself crosses the wire through petri.AppendNet/DecodeNet,
 // which round-trips exactly the structure firing, ECS partitioning and
@@ -110,8 +121,10 @@
 // spawned processes under -race; `make dist-memory` gates per-worker
 // store bytes at <= 0.75x the full-replica baseline for 2 workers
 // (exact live counts, machine-independent); BenchmarkExploreDist
-// documents the per-level protocol overhead and
-// BenchmarkExploreDistTrimmed the ~1/N per-worker memory curve on the
+// documents the per-level protocol overhead,
+// BenchmarkExploreDistTrimmed the ~1/N per-worker memory curve and
+// BenchmarkExploreDistPipelined the streaming session (coordinator
+// fire counts, chunk counts, received bytes per level) on the
 // 161k-state net.
 //
 // # Scenario corpus

@@ -9,6 +9,13 @@ import (
 	"repro/internal/petri"
 )
 
+// pipeWorker describes one in-process worker of a pipePoolOf pool.
+type pipeWorker struct {
+	ver  int                     // hello protocol version; 0 means current
+	wopt WorkerOptions           // worker-side options
+	wrap func(net.Conn) net.Conn // optional worker-side conn wrapper (latency injection)
+}
+
 // pipePool builds a Pool whose "workers" are goroutines on the other
 // end of net.Pipe connections — the full protocol stack (framing,
 // encoding, replica, merge) without process spawning, so the unit tests
@@ -18,22 +25,44 @@ import (
 // full-replica fallback or capability negotiation.
 func pipePool(t *testing.T, n int, wopt WorkerOptions) *Pool {
 	t.Helper()
+	specs := make([]pipeWorker, n)
+	for i := range specs {
+		specs[i].wopt = wopt
+	}
+	return pipePoolOf(t, specs)
+}
+
+// pipePoolOf is pipePool with per-worker protocol versions and conn
+// wrappers, for the downgrade and delayed-stream tests.
+func pipePoolOf(t *testing.T, specs []pipeWorker) *Pool {
+	t.Helper()
 	p := &Pool{logw: newLogWriter("coord")}
-	for i := 0; i < n; i++ {
+	for i, spec := range specs {
 		cs, ws := net.Pipe()
+		wc := net.Conn(ws)
+		if spec.wrap != nil {
+			wc = spec.wrap(ws)
+		}
+		ver := spec.ver
+		if ver == 0 {
+			ver = protoVersion
+		}
+		wopt := spec.wopt
 		errc := make(chan error, 1)
-		go func() { errc <- ServeConn(ws, newLogWriter("worker"), wopt) }()
+		go func() { errc <- serveConnVer(wc, newLogWriter("worker"), wopt, ver) }()
 		c := newConn(cs)
 		payload, err := c.expect(msgHello)
+		var gotVer int
 		var flags uint64
 		if err == nil {
-			flags, err = checkHello(payload)
+			gotVer, flags, err = checkHello(payload)
 		}
 		if err != nil {
 			t.Fatalf("pipe worker %d handshake: %v", i, err)
 		}
 		p.workers = append(p.workers, c)
 		p.wantFull = append(p.wantFull, flags&helloFullReplicas != 0)
+		p.vers = append(p.vers, gotVer)
 		t.Cleanup(func() {
 			cs.Close()
 			if err := <-errc; err != nil {
@@ -199,20 +228,21 @@ func TestPoolPoisoned(t *testing.T) {
 	cs, ws := net.Pipe()
 	go func() {
 		c := newConn(ws)
-		c.sendHello(0)
+		c.sendHello(protoVersion, 0)
 		c.recv() // init
 		ws.Close()
 	}()
 	c := newConn(cs)
 	payload, err := c.expect(msgHello)
 	if err == nil {
-		_, err = checkHello(payload)
+		_, _, err = checkHello(payload)
 	}
 	if err != nil {
 		t.Fatalf("handshake: %v", err)
 	}
 	p.workers = append(p.workers, c)
 	p.wantFull = append(p.wantFull, false)
+	p.vers = append(p.vers, protoVersion)
 	n := ringNet(2, 3)
 	if _, err := n.ExploreDist(p, petri.ExploreOptions{MaxMarkings: 100}); err == nil {
 		t.Fatal("want error from dying worker")

@@ -22,6 +22,7 @@ type Pool struct {
 	mu       sync.Mutex
 	workers  []*conn
 	wantFull []bool      // per worker: demanded full replicas in hello
+	vers     []int       // per worker: protocol version from hello
 	cmds     []*exec.Cmd // spawned locally; empty for Listen pools
 	dir      string      // socket tempdir of a SpawnLocal pool
 	full     bool        // coordinator-side full-replica fallback
@@ -37,9 +38,20 @@ type Pool struct {
 type SessionStats struct {
 	Levels    int
 	States    int
+	Proto     int   // wire protocol the session spoke (2 for a mixed pool)
 	Trimmed   bool  // replica mode the session actually ran in
-	BytesSent int64 // coordinator -> workers (init, deltas)
+	BytesSent int64 // coordinator -> workers (init, records, commits, acks)
 	BytesRecv int64 // workers -> coordinator (candidate streams)
+	// CandNew counts candNew candidates across the session's merge. At
+	// protocol 3 each contributes one extra varint (the successor hash)
+	// to BytesRecv and the coordinator resolves it by hash probe;
+	// CoordFires counts the transitions the coordinator actually
+	// re-fired — at protocol 3 only the genuinely new states it has to
+	// materialize (plus the rare hash-alias fallback), at protocol 2
+	// every candNew. Chunks counts protocol-3 candidate chunks received.
+	CandNew    int64
+	CoordFires int64
+	Chunks     int64
 	// Workers holds each worker's end-of-session replica accounting,
 	// in worker-index order.
 	Workers []WorkerMem
@@ -136,32 +148,45 @@ func (p *Pool) accept(ln net.Listener, n int, timeout time.Duration) error {
 	d, hasDeadline := ln.(deadliner)
 	for len(p.workers) < n {
 		if hasDeadline {
-			d.SetDeadline(time.Now().Add(timeout))
+			if err := d.SetDeadline(time.Now().Add(timeout)); err != nil {
+				return fmt.Errorf("dist: arm accept deadline: %w", err)
+			}
 		}
 		nc, err := ln.Accept()
 		if err != nil {
 			return fmt.Errorf("dist: waiting for worker %d/%d: %w", len(p.workers)+1, n, err)
 		}
 		c := newConn(nc)
-		nc.SetDeadline(time.Now().Add(timeout))
+		if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+			nc.Close()
+			return fmt.Errorf("dist: arm handshake deadline: %w", err)
+		}
 		payload, err := c.expect(msgHello)
+		var ver int
 		var flags uint64
 		if err == nil {
-			flags, err = checkHello(payload)
+			ver, flags, err = checkHello(payload)
+		}
+		if err == nil {
+			err = nc.SetDeadline(time.Time{})
 		}
 		if err != nil {
 			nc.Close()
 			return fmt.Errorf("dist: worker handshake: %w", err)
 		}
-		nc.SetDeadline(time.Time{})
 		p.workers = append(p.workers, c)
 		p.wantFull = append(p.wantFull, flags&helloFullReplicas != 0)
+		p.vers = append(p.vers, ver)
 	}
 	return nil
 }
 
 // NumWorkers returns the pool size.
-func (p *Pool) NumWorkers() int { return len(p.workers) }
+func (p *Pool) NumWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
 
 // SetFullReplicas switches the pool's later sessions to the
 // full-replica fallback: every worker rebuilds the whole store from
@@ -198,6 +223,11 @@ func (p *Pool) LastSessionStats() SessionStats {
 	return p.stats
 }
 
+// closeTimeout bounds the teardown of locally spawned workers — one
+// shared deadline for the whole pool, not per worker. A var so the
+// lifecycle tests can shrink it.
+var closeTimeout = 5 * time.Second
+
 // Close ends every worker connection (workers exit on EOF), reaps
 // locally spawned processes and removes the socket directory.
 func (p *Pool) Close() error {
@@ -210,38 +240,70 @@ func (p *Pool) Close() error {
 	for _, c := range p.workers {
 		c.close()
 	}
-	var firstErr error
-	for _, cmd := range p.cmds {
-		done := make(chan error, 1)
-		go func() { done <- cmd.Wait() }()
-		select {
-		case err := <-done:
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("dist: worker %d exited: %w", cmd.Process.Pid, err)
-			}
-		case <-time.After(5 * time.Second):
-			cmd.Process.Kill()
-			<-done
-			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: worker %d hung at close; killed", cmd.Process.Pid)
-			}
-		}
-	}
+	firstErr := p.reapSpawned()
 	if p.dir != "" {
 		os.RemoveAll(p.dir)
 	}
 	return firstErr
 }
 
+// reapSpawned waits on every spawned worker concurrently under one
+// shared deadline, so a hung pool tears down in closeTimeout total
+// rather than closeTimeout per worker. Workers still running at the
+// deadline are killed and then reaped; the kill itself is reported but
+// a killed worker's Wait error is not (the kill was deliberate).
+func (p *Pool) reapSpawned() error {
+	if len(p.cmds) == 0 {
+		return nil
+	}
+	type reap struct {
+		i   int
+		err error
+	}
+	done := make(chan reap, len(p.cmds))
+	for i, cmd := range p.cmds {
+		go func(i int, cmd *exec.Cmd) { done <- reap{i, cmd.Wait()} }(i, cmd)
+	}
+	var firstErr error
+	reaped := make([]bool, len(p.cmds))
+	killed := make([]bool, len(p.cmds))
+	deadline := time.After(closeTimeout)
+	for n := 0; n < len(p.cmds); {
+		select {
+		case r := <-done:
+			n++
+			reaped[r.i] = true
+			if r.err != nil && !killed[r.i] && firstErr == nil {
+				firstErr = fmt.Errorf("dist: worker %d exited: %w", p.cmds[r.i].Process.Pid, r.err)
+			}
+		case <-deadline:
+			deadline = nil // fire once; the kills below unblock the reaps
+			hung := 0
+			for i, cmd := range p.cmds {
+				if !reaped[i] {
+					killed[i] = true
+					hung++
+					cmd.Process.Kill()
+				}
+			}
+			if hung > 0 && firstErr == nil {
+				firstErr = fmt.Errorf("dist: %d workers hung at close; killed", hung)
+			}
+		}
+	}
+	return firstErr
+}
+
 // RunFrontier implements petri.FrontierRunner: one exploration session
 // over the pool. The coordinator broadcasts the net, spec and roots,
-// then per level ships the delta batch, gathers every worker's
-// candidate stream, and performs the sequential first-discovery merge —
-// walking frontier states in MarkID order and each state's candidates
-// in the serial emit order — so the hooks observe exactly the serial
-// loop's sequence and the numbering is byte-identical for every worker
-// count. Returns false when a Reject hook aborted; a non-nil error is
-// an infrastructure failure and poisons the pool.
+// then streams each level's record batch to the owning workers while
+// merging their candidate streams as the bytes arrive — the sequential
+// first-discovery merge walks frontier states in MarkID order and each
+// state's candidates in the serial emit order, so the hooks observe
+// exactly the serial loop's sequence and the numbering is
+// byte-identical for every worker count. Returns false when a Reject
+// hook aborted; a non-nil error is an infrastructure failure and
+// poisons the pool.
 func (p *Pool) RunFrontier(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (completed bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -251,7 +313,11 @@ func (p *Pool) RunFrontier(n *petri.Net, store *petri.MarkingStore, spec petri.E
 	if p.broken != nil {
 		return false, fmt.Errorf("dist: pool failed earlier: %w", p.broken)
 	}
-	completed, err = p.runSession(n, store, spec, hooks)
+	if p.sessionProto() >= 3 {
+		completed, err = p.runSessionV3(n, store, spec, hooks)
+	} else {
+		completed, err = p.runSessionV2(n, store, spec, hooks)
+	}
 	if err != nil {
 		p.broken = err
 		p.logw.printf("session failed: %v", err)
@@ -259,7 +325,23 @@ func (p *Pool) RunFrontier(n *petri.Net, store *petri.MarkingStore, spec petri.E
 	return completed, err
 }
 
-func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (bool, error) {
+// sessionProto picks the wire protocol for the next session: the
+// minimum hello version across the pool, so one old worker downgrades
+// every session to the barrier protocol it speaks. Callers hold p.mu.
+func (p *Pool) sessionProto() int {
+	v := protoVersion
+	for _, wv := range p.vers {
+		if wv < v {
+			v = wv
+		}
+	}
+	return v
+}
+
+// runSessionV2 is the protocol-2 session: per level, ship the record
+// batch, gather every worker's complete candidate stream, merge. Kept
+// for pools containing a version-2 worker.
+func (p *Pool) runSessionV2(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (bool, error) {
 	W := len(p.workers)
 	S := petri.NumFrontierShards(W)
 	trim := p.trimmed()
@@ -269,12 +351,12 @@ func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.Ex
 	}
 	start0 := startBytes(p.workers)
 	for i, c := range p.workers {
-		init := &initMsg{index: i, workers: W, shards: S, trim: trim, net: n, spec: spec, roots: roots}
-		if err := c.send(msgInit, appendInit(nil, init)); err != nil {
+		init := &initMsg{proto: 2, index: i, workers: W, shards: S, trim: trim, net: n, spec: spec, roots: roots}
+		if err := c.send(msgInit, appendInit(nil, init, p.vers[i])); err != nil {
 			return false, fmt.Errorf("dist: init worker %d: %w", i, err)
 		}
 	}
-	p.stats = SessionStats{Trimmed: trim}
+	p.stats = SessionStats{Trimmed: trim, Proto: 2}
 	// owner maps an interned state to the worker owning its shard — the
 	// shared pure-function partitioning every side agrees on.
 	owner := func(id petri.MarkID) int {
@@ -394,6 +476,8 @@ func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.Ex
 					}
 					hooks.Edge(petri.MarkID(id), int32(trans), known, false)
 				case candNew:
+					p.stats.CandNew++
+					p.stats.CoordFires++
 					t := n.Transitions[trans]
 					m := store.At(petri.MarkID(id))
 					if !m.Enabled(t) {
@@ -437,6 +521,426 @@ func (p *Pool) runSession(n *petri.Net, store *petri.MarkingStore, spec petri.Ex
 		p.stats.Levels++
 		levelStart = levelEnd
 	}
+}
+
+// runSessionV3 is the pipelined session. Per-connection reader
+// goroutines queue frames on bounded channels, so the merge consumes
+// worker W's candidate chunks the moment they arrive instead of
+// barriering on every worker's complete level. New-state records stream
+// to their owners mid-merge in recordFlush batches — workers expand
+// their slice of level L+1 while the coordinator is still merging the
+// tail of L — and each level's id range is committed (msgLevel) right
+// before its merge begins, which is what lets workers pin
+// classification at the level start (see expandStateV3) and keeps the
+// wire bytes deterministic. candNew candidates carry the successor's
+// hash: the coordinator classifies by hash probe and fires only the
+// genuinely new states it must materialize.
+//
+// Deadlock freedom: a worker holds at most chunkWindow unacked chunks
+// and keeps reading while parked; each reader channel has room for the
+// full window plus a terminal frame, so the reader never blocks, worker
+// writes always drain, and therefore coordinator writes (records,
+// commits, acks) always drain too.
+func (p *Pool) runSessionV3(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (bool, error) {
+	W := len(p.workers)
+	S := petri.NumFrontierShards(W)
+	trim := p.trimmed()
+	roots := make([]petri.Marking, store.Len())
+	for i := range roots {
+		roots[i] = store.At(petri.MarkID(i))
+	}
+	start0 := startBytes(p.workers)
+	for i, c := range p.workers {
+		init := &initMsg{proto: 3, index: i, workers: W, shards: S, trim: trim, net: n, spec: spec, roots: roots}
+		if err := c.send(msgInit, appendInit(nil, init, p.vers[i])); err != nil {
+			return false, fmt.Errorf("dist: init worker %d: %w", i, err)
+		}
+	}
+	p.stats = SessionStats{Trimmed: trim, Proto: 3}
+	owner := func(id petri.MarkID) int {
+		return petri.ShardOwner(petri.ShardOfHash(store.HashAt(id), S), S, W)
+	}
+	links := make([]*workerLink, W)
+	for i, c := range p.workers {
+		links[i] = startLink(c)
+	}
+	streams := make([]chunkStream, W)
+	for i := range streams {
+		streams[i].link = links[i]
+	}
+	// fail poisons the session: close every connection so workers and
+	// readers unwind, then drain the reader channels so no goroutine
+	// outlives the session.
+	fail := func(err error) (bool, error) {
+		for _, c := range p.workers {
+			c.close()
+		}
+		for _, l := range links {
+			for range l.ch {
+			}
+		}
+		return false, err
+	}
+	var (
+		deltas  []petri.Delta      // full-replica mode: broadcast batches
+		pending [][]petri.VecDelta // trimmed mode: per-worker batches
+		vcaches []*vecCache        // trimmed mode: per-worker cache models
+		scratch petri.Marking
+		payload = make([]byte, 0, 1<<12)
+	)
+	if trim {
+		pending = make([][]petri.VecDelta, W)
+		vcaches = make([]*vecCache, W)
+		for i := range vcaches {
+			vcaches[i] = newVecCache()
+		}
+	}
+	// flushRecs ships worker i's pending records. Boundary-parent vector
+	// attachment happens here, at flush time in record order — the same
+	// sequence the worker applies them in, keeping the two cache models
+	// in lockstep (see vcache.go).
+	flushRecs := func(i int) error {
+		recs := pending[i]
+		if len(recs) == 0 {
+			return nil
+		}
+		for k := range recs {
+			if owner(recs[k].Parent) == i {
+				continue
+			}
+			if !vcaches[i].hit(recs[k].Parent) {
+				recs[k].ParentVec = store.At(recs[k].Parent)
+			}
+		}
+		payload = petri.AppendVecDeltas(payload[:0], recs)
+		if err := p.workers[i].send(msgRecords, payload); err != nil {
+			return fmt.Errorf("dist: records to worker %d: %w", i, err)
+		}
+		pending[i] = recs[:0]
+		return nil
+	}
+	flushDeltas := func() error {
+		if len(deltas) == 0 {
+			return nil
+		}
+		payload = petri.AppendDeltas(payload[:0], deltas)
+		for i, c := range p.workers {
+			if err := c.send(msgRecords, payload); err != nil {
+				return fmt.Errorf("dist: records to worker %d: %w", i, err)
+			}
+		}
+		deltas = deltas[:0]
+		return nil
+	}
+	finish := func(completed bool) (bool, error) {
+		for i, c := range p.workers {
+			if err := c.send(msgDone, nil); err != nil {
+				return fail(fmt.Errorf("dist: finish worker %d: %w", i, err))
+			}
+		}
+		p.stats.Workers = make([]WorkerMem, W)
+		for i := range streams {
+			if completed && (len(streams[i].buf) != 0 || streams[i].cands != 0) {
+				return fail(fmt.Errorf("dist: worker %d stream not fully consumed (%d bytes, %d candidates left)", i, len(streams[i].buf), streams[i].cands))
+			}
+			p.stats.Chunks += int64(streams[i].chunks)
+			// Drain to the stats frame; chunks past the merge's stopping
+			// point are legitimate only on an aborted session.
+			for {
+				f, ok := <-links[i].ch
+				if !ok {
+					return fail(fmt.Errorf("dist: worker %d reader exited before stats", i))
+				}
+				if f.err != nil {
+					return fail(fmt.Errorf("dist: stats from worker %d: %w", i, f.err))
+				}
+				if f.typ == msgChunk {
+					if completed {
+						return fail(fmt.Errorf("dist: worker %d streamed a chunk past the last level", i))
+					}
+					continue
+				}
+				if f.typ == msgError {
+					return fail(fmt.Errorf("dist: worker %d error: %s", i, f.payload))
+				}
+				if f.typ != msgStats {
+					return fail(fmt.Errorf("dist: worker %d: unexpected message type %d before stats", i, f.typ))
+				}
+				var err error
+				if p.stats.Workers[i], err = decodeStats(f.payload); err != nil {
+					return fail(fmt.Errorf("dist: stats from worker %d: %w", i, err))
+				}
+				break
+			}
+		}
+		p.stats.States = store.Len()
+		p.stats.BytesSent, p.stats.BytesRecv = sentRecvSince(p.workers, start0)
+		p.logw.printf("session %s: %d levels, %d states, %d candNew (%d fires, %d chunks), %dB sent, %dB received (proto 3, trimmed=%v, completed=%v)",
+			n.Name, p.stats.Levels, p.stats.States, p.stats.CandNew, p.stats.CoordFires, p.stats.Chunks, p.stats.BytesSent, p.stats.BytesRecv, trim, completed)
+		return completed, nil
+	}
+	for levelStart := 0; ; {
+		levelEnd := store.Len()
+		if levelStart == levelEnd {
+			return finish(true)
+		}
+		if levelStart > 0 {
+			// The records of [levelStart, levelEnd) have been streaming
+			// since the previous merge discovered them; flush the tails
+			// and commit the range so workers can pin and expand the
+			// whole level.
+			if trim {
+				for i := range p.workers {
+					if err := flushRecs(i); err != nil {
+						return fail(err)
+					}
+				}
+			} else {
+				if err := flushDeltas(); err != nil {
+					return fail(err)
+				}
+			}
+			payload = appendLevel(payload[:0], levelStart, levelEnd)
+			for i, c := range p.workers {
+				if err := c.send(msgLevel, payload); err != nil {
+					return fail(fmt.Errorf("dist: level commit to worker %d: %w", i, err))
+				}
+			}
+		}
+		// Sequential first-discovery merge, exactly phase C of
+		// petri.RunFrontier — consuming each owner's chunk stream as the
+		// bytes arrive.
+		for id := levelStart; id < levelEnd; id++ {
+			ow := owner(petri.MarkID(id))
+			cands, err := streams[ow].nextState(id)
+			if err != nil {
+				return fail(fmt.Errorf("dist: worker %d stream: %w", ow, err))
+			}
+			if hooks.BeginState != nil {
+				hooks.BeginState(petri.MarkID(id))
+			}
+			for k := 0; k < cands; k++ {
+				tag, trans, known, h, err := streams[ow].nextCand()
+				if err != nil {
+					return fail(fmt.Errorf("dist: worker %d stream: %w", ow, err))
+				}
+				if trans < 0 || trans >= len(n.Transitions) {
+					return fail(fmt.Errorf("dist: worker %d: candidate transition %d out of range", ow, trans))
+				}
+				switch tag {
+				case candVeto:
+					if !hooks.Reject(petri.MarkID(id), int32(trans), false) {
+						return finish(false)
+					}
+				case candKnown:
+					// The worker pinned classification at the level start:
+					// anything at or beyond it travels as candNew.
+					if int(known) >= levelStart {
+						return fail(fmt.Errorf("dist: worker %d: known state %d at or beyond level start %d", ow, known, levelStart))
+					}
+					hooks.Edge(petri.MarkID(id), int32(trans), known, false)
+				case candNew:
+					p.stats.CandNew++
+					var g petri.MarkID
+					var found, fired bool
+					if !store.HashAliased() {
+						g, found = store.LookupHash(h)
+					} else {
+						// Two interned markings share a hash: the bare
+						// probe is ambiguous, fall back to firing for the
+						// vector-exact lookup.
+						t := n.Transitions[trans]
+						if m := store.At(petri.MarkID(id)); m.Enabled(t) {
+							scratch = m.FireInto(scratch, t)
+						} else {
+							return fail(fmt.Errorf("dist: worker %d: candidate fires disabled %s at state %d", ow, t.Name, id))
+						}
+						p.stats.CoordFires++
+						fired = true
+						g, found = store.LookupHashed(scratch, h)
+					}
+					if found {
+						hooks.Edge(petri.MarkID(id), int32(trans), g, false)
+						continue
+					}
+					// Genuinely new: fire once to materialize the vector.
+					if !fired {
+						t := n.Transitions[trans]
+						m := store.At(petri.MarkID(id))
+						if !m.Enabled(t) {
+							return fail(fmt.Errorf("dist: worker %d: candidate fires disabled %s at state %d", ow, t.Name, id))
+						}
+						scratch = m.FireInto(scratch, t)
+						p.stats.CoordFires++
+					}
+					if spec.Veto(scratch) {
+						return fail(fmt.Errorf("dist: worker %d: new candidate of state %d exceeds the place caps — worker/coordinator spec mismatch", ow, id))
+					}
+					if hv := petri.HashMarking(scratch); hv != h {
+						return fail(fmt.Errorf("dist: worker %d: candidate hash %#x, coordinator computes %#x — replica drift", ow, h, hv))
+					}
+					if hooks.Admit != nil && !hooks.Admit() {
+						if !hooks.Reject(petri.MarkID(id), int32(trans), true) {
+							return finish(false)
+						}
+						continue
+					}
+					g, _ = store.InternHashed(scratch, h)
+					if trim {
+						cw := petri.ShardOwner(petri.ShardOfHash(h, S), S, W)
+						pending[cw] = append(pending[cw], petri.VecDelta{
+							Child: g, Parent: petri.MarkID(id), Trans: int32(trans),
+						})
+						if len(pending[cw]) >= recordFlush {
+							if err := flushRecs(cw); err != nil {
+								return fail(err)
+							}
+						}
+					} else {
+						deltas = append(deltas, petri.Delta{Parent: petri.MarkID(id), Trans: int32(trans)})
+						if len(deltas) >= recordFlush {
+							if err := flushDeltas(); err != nil {
+								return fail(err)
+							}
+						}
+					}
+					hooks.Edge(petri.MarkID(id), int32(trans), g, true)
+				default:
+					return fail(fmt.Errorf("dist: worker %d: unknown candidate tag %d", ow, tag))
+				}
+			}
+		}
+		p.stats.Levels++
+		levelStart = levelEnd
+	}
+}
+
+// frame is one message forwarded by a per-connection reader goroutine.
+type frame struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// workerLink is a connection with its reader goroutine's frame channel.
+// The channel holds a full credit window plus a terminal frame — the
+// most a conforming worker ever has in flight — so the reader never
+// blocks on a slow merge and worker-side sends always drain.
+type workerLink struct {
+	c  *conn
+	ch chan frame
+}
+
+// startLink spawns the reader for one session on c. The reader exits —
+// closing the channel — after forwarding a terminal frame: the
+// session's stats reply, a worker error, or a transport failure.
+func startLink(c *conn) *workerLink {
+	l := &workerLink{c: c, ch: make(chan frame, chunkWindow+2)}
+	go func() {
+		defer close(l.ch)
+		for {
+			typ, payload, err := c.recvAlloc()
+			if err != nil {
+				l.ch <- frame{err: err}
+				return
+			}
+			l.ch <- frame{typ: typ, payload: payload}
+			if typ == msgStats || typ == msgError {
+				return
+			}
+		}
+	}()
+	return l
+}
+
+// chunkStream is the merge-side cursor over one worker's protocol-3
+// candidate stream. Chunks are cut at state-group boundaries, so a
+// refill happens only between states; each chunk pulled off the reader
+// channel is acknowledged immediately, returning the credit that lets
+// the worker keep expanding ahead of the merge.
+type chunkStream struct {
+	link   *workerLink
+	buf    []byte
+	cands  int // candidates left within the current state group
+	chunks int
+}
+
+func (s *chunkStream) refill() error {
+	f, ok := <-s.link.ch
+	if !ok {
+		return fmt.Errorf("stream ended mid-session")
+	}
+	if f.err != nil {
+		return f.err
+	}
+	switch f.typ {
+	case msgChunk:
+		s.buf = f.payload
+		s.chunks++
+		var ack [1]byte
+		ack[0] = 1
+		return s.link.c.send(msgAck, ack[:])
+	case msgError:
+		return fmt.Errorf("worker error: %s", f.payload)
+	default:
+		return fmt.Errorf("unexpected message type %d mid-session", f.typ)
+	}
+}
+
+// nextState positions the stream at the given owned state and returns
+// its candidate count, blocking on the worker's next chunk if the
+// stream is dry.
+func (s *chunkStream) nextState(want int) (int, error) {
+	if s.cands != 0 {
+		return 0, fmt.Errorf("previous state has %d unread candidates", s.cands)
+	}
+	for len(s.buf) == 0 {
+		if err := s.refill(); err != nil {
+			return 0, err
+		}
+	}
+	id, rest, err := decodeUvarint(s.buf)
+	if err != nil {
+		return 0, fmt.Errorf("state id: %w", err)
+	}
+	if int(id) != want {
+		return 0, fmt.Errorf("stream has state %d, merge expects %d", id, want)
+	}
+	n, rest, err := decodeUvarint(rest)
+	if err != nil {
+		return 0, fmt.Errorf("candidate count: %w", err)
+	}
+	s.buf, s.cands = rest, int(n)
+	return int(n), nil
+}
+
+// nextCand decodes one candidate; candNew candidates carry the
+// successor's 64-bit hash at protocol 3.
+func (s *chunkStream) nextCand() (tag int, trans int, known petri.MarkID, h uint64, err error) {
+	if s.cands == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("no candidates left in state")
+	}
+	v, rest, err := decodeUvarint(s.buf)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("candidate: %w", err)
+	}
+	tag, trans = int(v&3), int(v>>2)
+	switch tag {
+	case candKnown:
+		var g uint64
+		g, rest, err = decodeUvarint(rest)
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("known id: %w", err)
+		}
+		known = petri.MarkID(g)
+	case candNew:
+		h, rest, err = decodeUvarint(rest)
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("candidate hash: %w", err)
+		}
+	}
+	s.buf, s.cands = rest, s.cands-1
+	return tag, trans, known, h, nil
 }
 
 func startBytes(ws []*conn) (totals [2]int64) {

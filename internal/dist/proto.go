@@ -15,20 +15,33 @@ import (
 
 // Length-prefixed binary framing. Every message is a 4-byte
 // little-endian payload length, a 1-byte type, and the payload —
-// varint-encoded via the petri wire helpers. The protocol is strictly
-// coordinator-driven: workers speak only when spoken to (hello on
-// connect, one result per expand), so neither side ever needs to
-// multiplex.
+// varint-encoded via the petri wire helpers. At protocol 2 the exchange
+// is strictly coordinator-driven (workers speak only when spoken to:
+// hello on connect, one result per expand). Protocol 3 pipelines: the
+// coordinator streams record batches and level commits while workers
+// stream candidate chunks back, with a credit window (msgAck) bounding
+// the chunks in flight — the coordinator's per-connection reader
+// goroutine plus that window is what keeps both directions draining
+// and rules out write-write deadlock.
 
 const (
 	protoMagic = "qssd"
-	// Version 2: hello carries capability flags, init carries the
-	// replica mode, trimmed sessions ship VecDelta batches, and session
-	// end is a stats round trip instead of a one-way done.
-	protoVersion = 2
-	// maxFrame bounds a single message payload; a level's candidate
-	// stream is the largest message and stays far below this for any
-	// exploration that fits in memory.
+	// Version 3: candidate streams travel as flow-controlled chunks
+	// (msgChunk/msgAck) instead of one result per level, store records
+	// stream during the previous level's merge (msgRecords) with an
+	// explicit level commit (msgLevel), and every candNew candidate
+	// carries the successor's 64-bit hash so the coordinator classifies
+	// without re-firing. Workers hello with the highest version they
+	// speak; the coordinator picks the pool minimum per session and
+	// announces it in a leading init field (version-3 init layout only).
+	protoVersion = 3
+	// protoVersionMin is the oldest worker hello still accepted.
+	// Version 2: per-level barrier (msgExpand/msgResult round trips),
+	// hash-less candNew. A mixed pool downgrades every session to 2.
+	protoVersionMin = 2
+	// maxFrame bounds a single message payload; a protocol-2 level
+	// candidate stream is the largest message and stays far below this
+	// for any exploration that fits in memory.
 	maxFrame = 1 << 30
 )
 
@@ -36,11 +49,38 @@ const (
 const (
 	msgHello  byte = 1 // worker -> coordinator, on connect
 	msgInit   byte = 2 // coordinator -> worker, session start
-	msgExpand byte = 3 // coordinator -> worker, one level
-	msgResult byte = 4 // worker -> coordinator, one level's candidates
+	msgExpand byte = 3 // coordinator -> worker, one level (protocol 2)
+	msgResult byte = 4 // worker -> coordinator, one level's candidates (protocol 2)
 	msgDone   byte = 5 // coordinator -> worker, session end
 	msgStats  byte = 7 // worker -> coordinator, reply to done
 	msgError  byte = 6 // either direction, carries a message string
+
+	// Protocol 3: the pipelined session.
+	msgRecords byte = 8  // coordinator -> worker, store records of the level being built (streamed mid-merge)
+	msgLevel   byte = 9  // coordinator -> worker, commits the recorded level's [start, end) id range
+	msgAck     byte = 10 // coordinator -> worker, returns chunk credits consumed by the merge
+	msgChunk   byte = 11 // worker -> coordinator, a slice of the candidate stream
+)
+
+// Protocol-3 pipelining parameters. Both sides hard-code them: the
+// worker enforces the chunk target and window on its sends, the
+// coordinator sizes its per-connection reader channel so a conforming
+// worker's frames never block the reader.
+const (
+	// chunkTarget is the worker-side flush threshold for candidate
+	// chunks. A worker also flushes a smaller partial chunk whenever it
+	// has expanded everything it holds, so the coordinator's merge is
+	// never left waiting on buffered bytes.
+	chunkTarget = 16 << 10
+	// chunkWindow is the credit window: a worker may have at most this
+	// many unacknowledged chunks in flight and parks its expansion
+	// cursor (while continuing to read) when the window is exhausted.
+	chunkWindow = 8
+	// recordFlush is the coordinator-side record-batch flush threshold,
+	// in records: the pipelining grain at which workers may start
+	// expanding their slice of level L+1 while the coordinator is still
+	// merging the tail of L.
+	recordFlush = 256
 )
 
 // Hello capability flags.
@@ -114,6 +154,26 @@ func (c *conn) recv() (byte, []byte, error) {
 	return hdr[4], c.scratch, nil
 }
 
+// recvAlloc is recv into a fresh buffer — for the coordinator's
+// per-connection reader goroutines, whose frames are queued and must
+// outlive the next read.
+func (c *conn) recvAlloc() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	c.received += int64(len(hdr)) + int64(n)
+	return hdr[4], payload, nil
+}
+
 // expect receives one message and requires the given type; a msgError
 // from the peer is surfaced as its carried error.
 func (c *conn) expect(typ byte) ([]byte, error) {
@@ -130,30 +190,33 @@ func (c *conn) expect(typ byte) ([]byte, error) {
 	return payload, nil
 }
 
-func (c *conn) sendHello(flags uint64) error {
-	payload := binary.AppendUvarint([]byte(protoMagic), protoVersion)
+func (c *conn) sendHello(version int, flags uint64) error {
+	payload := binary.AppendUvarint([]byte(protoMagic), uint64(version))
 	payload = binary.AppendUvarint(payload, flags)
 	return c.send(msgHello, payload)
 }
 
-func checkHello(payload []byte) (flags uint64, err error) {
+func checkHello(payload []byte) (version int, flags uint64, err error) {
 	if len(payload) < len(protoMagic) || string(payload[:len(protoMagic)]) != protoMagic {
-		return 0, fmt.Errorf("dist: bad hello magic")
+		return 0, 0, fmt.Errorf("dist: bad hello magic")
 	}
 	buf := payload[len(protoMagic):]
 	v, n := binary.Uvarint(buf)
-	if n <= 0 || v != protoVersion {
-		return 0, fmt.Errorf("dist: protocol version %d (want %d)", v, protoVersion)
+	if n <= 0 || v < protoVersionMin || v > protoVersion {
+		return 0, 0, fmt.Errorf("dist: protocol version %d (supported %d..%d)", v, protoVersionMin, protoVersion)
 	}
 	flags, n = binary.Uvarint(buf[n:])
 	if n <= 0 {
-		return 0, fmt.Errorf("dist: hello flags missing")
+		return 0, 0, fmt.Errorf("dist: hello flags missing")
 	}
-	return flags, nil
+	return int(v), flags, nil
 }
 
-// initMsg is the decoded session-start payload.
+// initMsg is the decoded session-start payload. proto is the wire
+// protocol this session speaks — a version-3 worker in a mixed pool is
+// told 2 and runs the barrier session path of its older peers.
 type initMsg struct {
+	proto                  int
 	index, workers, shards int
 	trim                   bool
 	net                    *petri.Net
@@ -161,7 +224,14 @@ type initMsg struct {
 	roots                  []petri.Marking
 }
 
-func appendInit(dst []byte, m *initMsg) []byte {
+// appendInit encodes a session init in the layout the worker's hello
+// version expects: version 3 adds a leading session-protocol field
+// (the coordinator may pick protocol 2 for a mixed pool); a version-2
+// worker gets the unchanged version-2 layout.
+func appendInit(dst []byte, m *initMsg, helloVer int) []byte {
+	if helloVer >= 3 {
+		dst = binary.AppendUvarint(dst, uint64(m.proto))
+	}
 	dst = binary.AppendUvarint(dst, uint64(m.index))
 	dst = binary.AppendUvarint(dst, uint64(m.workers))
 	dst = binary.AppendUvarint(dst, uint64(m.shards))
@@ -187,8 +257,10 @@ func appendInit(dst []byte, m *initMsg) []byte {
 	return dst
 }
 
-func decodeInit(buf []byte) (*initMsg, error) {
-	m := &initMsg{}
+// decodeInit decodes a session init sent to a worker that helloed
+// helloVer (see appendInit for the layout difference).
+func decodeInit(buf []byte, helloVer int) (*initMsg, error) {
+	m := &initMsg{proto: 2}
 	var err error
 	u := func() uint64 {
 		var v uint64
@@ -196,6 +268,12 @@ func decodeInit(buf []byte) (*initMsg, error) {
 			v, buf, err = decodeUvarint(buf)
 		}
 		return v
+	}
+	if helloVer >= 3 {
+		m.proto = int(u())
+		if err == nil && (m.proto < protoVersionMin || m.proto > protoVersion) {
+			err = fmt.Errorf("session protocol %d out of range", m.proto)
+		}
 	}
 	m.index, m.workers, m.shards = int(u()), int(u()), int(u())
 	m.trim = u() != 0
@@ -294,6 +372,31 @@ func decodeExpand(buf []byte, trim bool, deltas []petri.Delta, recs []petri.VecD
 		return nil, deltas, recs, err
 	}
 	return &expandMsg{start: int(s), end: int(e), deltas: deltas}, deltas, recs, nil
+}
+
+// Protocol-3 payload helpers. msgRecords carries a bare record batch
+// (petri.AppendVecDeltas for trimmed sessions — children named by
+// global id — or petri.AppendDeltas for full replicas, children
+// implicit in store order); msgChunk carries raw candidate-stream
+// bytes, cut only at state-group boundaries; msgLevel commits the
+// [start, end) global-id range of the level whose records finished
+// streaming; msgAck returns consumed chunk credits.
+
+func appendLevel(dst []byte, start, end int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(start))
+	return binary.AppendUvarint(dst, uint64(end))
+}
+
+func decodeLevel(buf []byte) (start, end int, err error) {
+	s, buf, err := decodeUvarint(buf)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: level start: %w", err)
+	}
+	e, _, err := decodeUvarint(buf)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: level end: %w", err)
+	}
+	return int(s), int(e), nil
 }
 
 // WorkerMem is one worker's end-of-session replica accounting, shipped

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -331,7 +332,7 @@ func (r *replica) expandState(dst []byte, id petri.MarkID) []byte {
 	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
 		for _, tid := range r.part[ei].Trans {
 			r.scratch = m.FireInto(r.scratch, r.net.Transitions[tid])
-			switch gid, ok := r.classify(); {
+			switch gid, _, ok := r.classify(); {
 			case !ok:
 				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candVeto)
 			case gid != petri.NoMark:
@@ -345,23 +346,62 @@ func (r *replica) expandState(dst []byte, id petri.MarkID) []byte {
 	return dst
 }
 
+// expandStateV3 is expandState under the protocol-3 classification pin:
+// a successor resolving to a global id at or beyond pin — the expanded
+// state's own level start — is emitted candNew (with its 64-bit hash,
+// one extra varint) instead of candKnown. Pipelined workers expand a
+// state whenever its record arrives, so the replica may or may not
+// already hold same-level or next-level successors at that moment; the
+// pin makes the emitted bytes a pure function of the state, not of how
+// far the record stream happened to have progressed, preserving the
+// byte-identical determinism contract. The coordinator resolves every
+// candNew by the shipped hash without re-firing.
+func (r *replica) expandStateV3(dst []byte, id, pin petri.MarkID) []byte {
+	m := r.store.At(id)
+	bits := r.bits[int(id)*r.stride : (int(id)+1)*r.stride]
+	cands := 0
+	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
+		cands += len(r.part[ei].Trans)
+	})
+	dst = binary.AppendUvarint(dst, uint64(r.gid(id)))
+	dst = binary.AppendUvarint(dst, uint64(cands))
+	petri.ForEachMaskedBit(bits, r.spec.Mask, func(ei int) {
+		for _, tid := range r.part[ei].Trans {
+			r.scratch = m.FireInto(r.scratch, r.net.Transitions[tid])
+			switch gid, h, ok := r.classify(); {
+			case !ok:
+				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candVeto)
+			case gid != petri.NoMark && gid < pin:
+				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candKnown)
+				dst = binary.AppendUvarint(dst, uint64(gid))
+			default:
+				dst = binary.AppendUvarint(dst, uint64(tid)<<2|candNew)
+				dst = binary.AppendUvarint(dst, h)
+			}
+		}
+	})
+	return dst
+}
+
 // classify resolves the scratch successor: ok=false for a cap veto,
-// otherwise the replica-known global MarkID or NoMark for a successor
-// this worker cannot resolve — a first sighting, or (trimmed mode) any
-// successor routing to another worker's shards, which the coordinator's
-// merge resolves against the authoritative store.
-func (r *replica) classify() (petri.MarkID, bool) {
+// otherwise the replica-known global MarkID (or NoMark for a successor
+// this worker cannot resolve — a first sighting, or in trimmed mode any
+// successor routing to another worker's shards) plus the successor's
+// hash, which protocol 3 ships with candNew candidates so the
+// coordinator's merge resolves them against the authoritative store
+// without re-firing.
+func (r *replica) classify() (petri.MarkID, uint64, bool) {
 	if r.spec.Veto(r.scratch) {
-		return petri.NoMark, false
+		return petri.NoMark, 0, false
 	}
 	h := petri.HashMarking(r.scratch)
 	if r.trim && !r.ownsHash(h) {
-		return petri.NoMark, true
+		return petri.NoMark, h, true
 	}
 	if local, ok := r.store.LookupHashed(r.scratch, h); ok {
-		return r.gid(local), true
+		return r.gid(local), h, true
 	}
-	return petri.NoMark, true
+	return petri.NoMark, h, true
 }
 
 // memStats summarizes the replica's memory for the end-of-session
@@ -381,19 +421,56 @@ func (r *replica) memStats() WorkerMem {
 	return m
 }
 
+// transportError marks a connection-level failure (a recv or send on
+// the coordinator link failed). A worker cannot recover from one — the
+// session framing is lost — so the serve loop exits the process;
+// everything else is session-scoped and survivable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "dist: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+func transportErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transportError{err: err}
+}
+
 // ServeConn runs the worker side of a coordinator connection: hello,
 // then exploration sessions until the coordinator closes the
 // connection. It is the body of both spawned workers (MaybeWorker) and
 // the standalone cmd/qssd binary.
+//
+// Failures are two-tier. A transport failure (the link itself broke)
+// ends the serve loop: the process has nothing left to serve. A
+// session-scoped failure — a malformed init, a batch that does not
+// extend the replica, a coordinator bug — reports one msgError, then
+// drains the remainder of the doomed session quietly and keeps serving:
+// an externally started cmd/qssd worker stays available for the next
+// session instead of dying on the first bad one.
 func ServeConn(nc net.Conn, logw *logWriter, opt WorkerOptions) error {
+	return serveConnVer(nc, logw, opt, protoVersion)
+}
+
+// serveConnVer is ServeConn with an explicit hello version; tests use
+// it to stand up a protocol-2 worker against a newer coordinator and
+// exercise the downgrade path.
+func serveConnVer(nc net.Conn, logw *logWriter, opt WorkerOptions, ver int) error {
 	c := newConn(nc)
 	var flags uint64
 	if opt.FullReplicas {
 		flags |= helloFullReplicas
 	}
-	if err := c.sendHello(flags); err != nil {
+	if err := c.sendHello(ver, flags); err != nil {
 		return err
 	}
+	// draining: a session failed and its msgError went out; skip frames
+	// until the next init. The drain is quiet — one report per failure —
+	// because nothing guarantees the coordinator is still reading after
+	// it learns of the error, and a msgError per stray frame could block
+	// the worker on an unbuffered link forever.
+	draining := false
 	for {
 		typ, payload, err := c.recv()
 		if err == io.EOF {
@@ -404,23 +481,37 @@ func ServeConn(nc net.Conn, logw *logWriter, opt WorkerOptions) error {
 			return err
 		}
 		if typ != msgInit {
-			return workerFail(c, fmt.Errorf("dist: expected init, got message type %d", typ))
+			if !draining {
+				draining = true
+				workerFail(c, logw, fmt.Errorf("dist: expected init, got message type %d", typ))
+			}
+			continue
 		}
-		init, err := decodeInit(payload)
+		draining = false
+		init, err := decodeInit(payload, ver)
+		if err == nil && init.trim && opt.FullReplicas {
+			err = fmt.Errorf("dist: trimmed session offered to a full-replicas-only worker")
+		}
+		if err == nil {
+			if init.proto >= 3 {
+				err = serveSessionV3(c, init, logw)
+			} else {
+				err = serveSession(c, init, logw)
+			}
+		}
 		if err != nil {
-			return workerFail(c, err)
-		}
-		if init.trim && opt.FullReplicas {
-			return workerFail(c, fmt.Errorf("dist: trimmed session offered to a full-replicas-only worker"))
-		}
-		if err := serveSession(c, init, logw); err != nil {
-			return workerFail(c, err)
+			var te *transportError
+			if errors.As(err, &te) {
+				return err
+			}
+			draining = true
+			workerFail(c, logw, err)
 		}
 	}
 }
 
-// serveSession runs one exploration: apply each level's batch, expand
-// the owned slice of the frontier, reply, until done.
+// serveSession runs one protocol-2 exploration: apply each level's
+// batch, expand the owned slice of the frontier, reply, until done.
 func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 	r, err := newReplica(init)
 	if err != nil {
@@ -441,17 +532,14 @@ func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 	for {
 		typ, payload, err := c.recv()
 		if err != nil {
-			return err
+			return transportErr(err)
 		}
 		switch typ {
 		case msgDone:
 			mem := r.memStats()
 			logw.printf("session end: %d levels, %d states held, %dB store, %dB bits, %dB cache",
 				levels, mem.States, mem.StoreBytes, mem.BitsBytes, mem.CacheBytes)
-			if err := c.send(msgStats, appendStats(nil, mem)); err != nil {
-				return err
-			}
-			return nil
+			return transportErr(c.send(msgStats, appendStats(nil, mem)))
 		case msgExpand:
 			var msg *expandMsg
 			msg, deltas, recs, err = decodeExpand(payload, r.trim, deltas, recs)
@@ -463,7 +551,7 @@ func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 				return err
 			}
 			if err := c.send(msgResult, out); err != nil {
-				return err
+				return transportErr(err)
 			}
 			levels++
 		case msgError:
@@ -474,9 +562,175 @@ func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 	}
 }
 
-// workerFail reports the error to the coordinator (best effort) and
-// returns it.
-func workerFail(c *conn, err error) error {
+// serveSessionV3 runs one pipelined exploration. The coordinator
+// streams store records (msgRecords) as its merge produces them and
+// commits each finished level's id range (msgLevel); the worker expands
+// every owned state as soon as it is interned, pinning classification
+// at the state's level start (see expandStateV3), and streams the
+// candidate bytes back as flow-controlled chunks. Expansion parks when
+// the credit window is exhausted and resumes on msgAck; a partial chunk
+// is flushed whenever the worker has expanded everything it holds, so
+// the coordinator's merge never waits on buffered bytes.
+func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
+	r, err := newReplica(init)
+	if err != nil {
+		return err
+	}
+	mode := "full-replica"
+	if r.trim {
+		mode = "trimmed"
+	}
+	shardLo, shardHi := petri.OwnedShardRange(r.index, r.shards, r.workers)
+	logw.printf("session start (proto 3): net %s (%d places, %d transitions), worker %d/%d owning shards [%d,%d) of %d (%s), %d roots (%d owned)",
+		r.net.Name, len(r.net.Places), len(r.net.Transitions), r.index, r.workers,
+		shardLo, shardHi, r.shards, mode, r.rootCount, r.store.Len())
+
+	// bounds holds the committed level starts plus, at bounds[len-1],
+	// the start of the level records are currently building. Records
+	// only ever target that one uncommitted level, so the pin of any
+	// expandable state — the largest bound at or below its global id —
+	// is already final when the state arrives, whatever the stream
+	// timing: that is what keeps the emitted bytes deterministic.
+	bounds := []int{0, r.rootCount}
+	pinIdx := 0
+	cursor := petri.MarkID(0) // next local store id to expand
+	unacked := 0              // chunks in flight, bounded by chunkWindow
+	chunks := 0
+	var buf []byte
+	var deltas []petri.Delta
+	var recs []petri.VecDelta
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := c.send(msgChunk, buf); err != nil {
+			return transportErr(err)
+		}
+		chunks++
+		unacked++
+		buf = buf[:0]
+		return nil
+	}
+	pump := func() error {
+		for int(cursor) < r.store.Len() {
+			if unacked >= chunkWindow {
+				return nil // parked; the next ack resumes expansion
+			}
+			if !r.trim && !r.owns(cursor) {
+				cursor++
+				continue
+			}
+			g := int(r.gid(cursor))
+			for pinIdx+1 < len(bounds) && g >= bounds[pinIdx+1] {
+				pinIdx++
+			}
+			buf = r.expandStateV3(buf, cursor, petri.MarkID(bounds[pinIdx]))
+			cursor++
+			if len(buf) >= chunkTarget {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if unacked < chunkWindow {
+			return flush() // caught up: the merge may be blocked on these bytes
+		}
+		return nil
+	}
+	if err := pump(); err != nil { // the roots are expandable immediately
+		return err
+	}
+
+	for {
+		typ, payload, err := c.recv()
+		if err != nil {
+			return transportErr(err)
+		}
+		switch typ {
+		case msgDone:
+			// Parked or buffered candidates are discarded: done mid-level
+			// means the merge aborted (a hook rejected the budget).
+			mem := r.memStats()
+			logw.printf("session end: %d levels, %d states held, %d chunks, %dB store, %dB bits, %dB cache",
+				len(bounds)-1, mem.States, chunks, mem.StoreBytes, mem.BitsBytes, mem.CacheBytes)
+			return transportErr(c.send(msgStats, appendStats(nil, mem)))
+		case msgRecords:
+			lo := bounds[len(bounds)-1]
+			if r.trim {
+				recs, _, err = petri.DecodeVecDeltas(recs[:0], payload)
+				if err != nil {
+					return err
+				}
+				for _, rec := range recs {
+					if int(rec.Child) < lo {
+						return fmt.Errorf("dist: record child %d below uncommitted level start %d", rec.Child, lo)
+					}
+					if err := r.applyRec(rec); err != nil {
+						return err
+					}
+				}
+			} else {
+				deltas, _, err = petri.DecodeDeltas(deltas[:0], payload)
+				if err != nil {
+					return err
+				}
+				for _, d := range deltas {
+					if r.store.Len() < lo {
+						return fmt.Errorf("dist: delta arrives with store at %d, below uncommitted level start %d", r.store.Len(), lo)
+					}
+					if err := r.applyDelta(d); err != nil {
+						return err
+					}
+				}
+			}
+			if err := pump(); err != nil {
+				return err
+			}
+		case msgLevel:
+			start, end, err := decodeLevel(payload)
+			if err != nil {
+				return err
+			}
+			if start != bounds[len(bounds)-1] || end < start {
+				return fmt.Errorf("dist: level commit [%d,%d) does not extend bounds at %d", start, end, bounds[len(bounds)-1])
+			}
+			if r.trim {
+				if n := len(r.gids); n > 0 && int(r.gids[n-1]) >= end {
+					return fmt.Errorf("dist: level commit [%d,%d) but record child %d already interned", start, end, r.gids[n-1])
+				}
+			} else if r.store.Len() != end {
+				return fmt.Errorf("dist: level commit [%d,%d) but replica holds %d states", start, end, r.store.Len())
+			}
+			bounds = append(bounds, end)
+			if err := pump(); err != nil {
+				return err
+			}
+		case msgAck:
+			n, _, err := decodeUvarint(payload)
+			if err != nil {
+				return fmt.Errorf("dist: ack: %w", err)
+			}
+			if int(n) > unacked {
+				return fmt.Errorf("dist: ack for %d chunks with %d in flight", n, unacked)
+			}
+			unacked -= int(n)
+			if err := pump(); err != nil {
+				return err
+			}
+		case msgError:
+			return fmt.Errorf("dist: coordinator error: %s", payload)
+		default:
+			return fmt.Errorf("dist: unexpected message type %d in session", typ)
+		}
+	}
+}
+
+// workerFail logs a session-scoped error and reports it to the
+// coordinator. Exactly one msgError goes out per failure — the
+// coordinator is guaranteed to still be reading at the moment a session
+// first fails, but not afterwards — and the send is best-effort.
+func workerFail(c *conn, logw *logWriter, err error) {
+	logw.printf("session failed: %v", err)
 	_ = c.send(msgError, []byte(err.Error()))
-	return err
 }

@@ -100,8 +100,11 @@ func (s *ExpandSpec) Veto(m Marking) bool {
 // internal/dist) ships the net and spec to worker processes owning
 // hash ranges of the marking space — holding either a full replica
 // rebuilt from Delta batches or, by default, only their owned shards
-// fed by VecDelta batches — and feeds their candidate batches
-// through the same sequential merge. Implementations must invoke the
+// fed by VecDelta batches — and feeds their candidate streams
+// through the same sequential merge, pipelined so workers expand one
+// level ahead of the merge and new candidates resolve by shipped
+// marking hash (LookupHash) instead of a coordinator re-fire.
+// Implementations must invoke the
 // MergeHooks in exactly the serial discovery order (states ascending,
 // emit order within a state), so results are byte-identical to the
 // serial loop. The returned bool is false when a Reject hook aborted

@@ -39,11 +39,12 @@ const (
 // the concurrent per-source searches of the PR-1 worker pool never
 // contend on one.
 type MarkingStore struct {
-	places int
-	tokens []int    // arena; marking id occupies tokens[id*places : (id+1)*places]
-	hashes []uint64 // hash per interned marking, reused on growth
-	table  []uint32 // open addressing, entry = id+1, 0 = empty
-	mask   uint32
+	places  int
+	tokens  []int    // arena; marking id occupies tokens[id*places : (id+1)*places]
+	hashes  []uint64 // hash per interned marking, reused on growth
+	table   []uint32 // open addressing, entry = id+1, 0 = empty
+	mask    uint32
+	aliased bool // two distinct interned markings share a 64-bit hash
 }
 
 // NewMarkingStore returns an empty store for markings over the given
@@ -119,6 +120,36 @@ func (s *MarkingStore) LookupHashed(m Marking, h uint64) (MarkID, bool) {
 	}
 }
 
+// LookupHash resolves a bare 64-bit HashMarking value to the interned
+// marking carrying it, without the vector compare Lookup performs — the
+// distributed coordinator's fast path for classifying a successor whose
+// hash a worker shipped (dist protocol 3), saving the re-fire that
+// producing the vector would cost. The probe trusts hash equality, so
+// it is exact only while HashAliased is false: callers must fall back
+// to vector-exact resolution once the store is known to hold two
+// distinct markings with one hash, and accept the ~len·2⁻⁶⁴ per-probe
+// chance that a marking NOT in the store aliases one that is (the
+// hash-compaction caveat documented in package internal/dist).
+func (s *MarkingStore) LookupHash(h uint64) (MarkID, bool) {
+	for slot := uint32(h) & s.mask; ; slot = (slot + 1) & s.mask {
+		e := s.table[slot]
+		if e == 0 {
+			return NoMark, false
+		}
+		if id := MarkID(e - 1); s.hashes[id] == h {
+			return id, true
+		}
+	}
+}
+
+// HashAliased reports whether interning has ever stored two distinct
+// markings sharing one 64-bit hash — the condition under which
+// LookupHash is ambiguous. Detection is exact, not probabilistic: an
+// aliasing pair probes through the same table run (same home slot), so
+// the later Intern always walks past the earlier entry; grow()
+// reinserts from home slots and preserves the property.
+func (s *MarkingStore) HashAliased() bool { return s.aliased }
+
 // Intern returns the MarkID of m, interning a copy of the vector if it
 // was not present. The second result reports whether the marking is
 // new. Interning an already-present marking performs no allocation.
@@ -140,8 +171,11 @@ func (s *MarkingStore) InternHashed(m Marking, h uint64) (MarkID, bool) {
 			break
 		}
 		id := MarkID(e - 1)
-		if s.hashes[id] == h && s.At(id).Equal(m) {
-			return id, false
+		if s.hashes[id] == h {
+			if s.At(id).Equal(m) {
+				return id, false
+			}
+			s.aliased = true
 		}
 	}
 	id := MarkID(len(s.hashes))

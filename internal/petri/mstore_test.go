@@ -146,6 +146,53 @@ func TestMarkingStoreConcurrentReads(t *testing.T) {
 	wg.Wait()
 }
 
+// TestLookupHashAliased: the hash-only probe backing the dist
+// protocol-3 candNew fast path resolves interned markings by bare hash,
+// and interning two distinct vectors under one hash flips HashAliased —
+// the signal that callers must fall back to vector-exact lookups.
+func TestLookupHashAliased(t *testing.T) {
+	s := newMarkingStoreCap(3, 2) // tiny table: forces probe runs and growth
+	var ms []Marking
+	for i := 0; i < 40; i++ {
+		m := Marking{i, i % 4, i / 7}
+		ms = append(ms, m)
+		s.Intern(m)
+	}
+	if s.HashAliased() {
+		t.Fatal("store reports aliasing without a colliding pair")
+	}
+	for i, m := range ms {
+		id, ok := s.LookupHash(HashMarking(m))
+		if !ok || int(id) != i {
+			t.Fatalf("LookupHash(%v) = (%d, %v), want (%d, true)", m, id, ok, i)
+		}
+	}
+	if _, ok := s.LookupHash(HashMarking(Marking{99, 99, 99})); ok {
+		t.Fatal("LookupHash resolved a never-interned hash")
+	}
+	// Force an alias: a second vector interned under the first one's
+	// hash (InternHashed trusts the caller's hash).
+	h0 := HashMarking(ms[0])
+	alias := Marking{77, 0, 0}
+	id, isNew := s.InternHashed(alias, h0)
+	if !isNew || int(id) != len(ms) {
+		t.Fatalf("aliased intern = (%d, %v), want (%d, true)", id, isNew, len(ms))
+	}
+	if !s.HashAliased() {
+		t.Fatal("aliasing pair not detected at intern")
+	}
+	if again, isNew := s.InternHashed(alias, h0); isNew || again != id {
+		t.Fatalf("re-intern of aliased vector = (%d, %v), want (%d, false)", again, isNew, id)
+	}
+	// Exact lookups still resolve both sides of the alias.
+	if got, ok := s.LookupHashed(ms[0], h0); !ok || got != 0 {
+		t.Fatalf("exact lookup of original = (%d, %v), want (0, true)", got, ok)
+	}
+	if got, ok := s.LookupHashed(alias, h0); !ok || got != id {
+		t.Fatalf("exact lookup of alias = (%d, %v), want (%d, true)", got, ok, id)
+	}
+}
+
 // TestFireInto: matches Fire, reuses the destination buffer, and a
 // self-loop round-trips.
 func TestFireInto(t *testing.T) {
