@@ -12,6 +12,10 @@
 #                      store bytes <= 0.75x the full-replica baseline
 #                      at 2 workers, plus the ~1/N scaling curve
 #                      (exact live byte counts, machine-independent)
+#   make server-smoke— build the real qss-server binary, start it, and
+#                      exercise /healthz, /readyz, /metrics and a real
+#                      /v1/synthesize whose returned C must be
+#                      byte-identical to the golden files
 #   make bench       — every benchmark once (shape assertions, no timing)
 #   make benchgate   — benchmark-regression gate vs bench_baseline.json
 #   make fuzz-smoke  — short-budget fuzz pass over both fuzz targets
@@ -22,15 +26,18 @@ FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
 BENCH_ALLOC_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test dist-matrix dist-memory bench benchgate baseline fuzz-smoke
+.PHONY: ci build vet test dist-matrix dist-memory server-smoke bench benchgate baseline fuzz-smoke
 
-ci: build vet test bench benchgate fuzz-smoke
+ci: build vet test server-smoke bench benchgate fuzz-smoke
 
 dist-matrix:
 	$(GO) test -race -count=1 -v -run 'TestDeterminismMatrix|TestReachMatrix|TestCorpusSweepDist' ./internal/dist
 
 dist-memory:
 	$(GO) test -race -count=1 -v -run 'TestDistTrimmedMemoryGate|TestDistTrimmedMemoryScaling' ./internal/dist
+
+server-smoke:
+	$(GO) test -count=1 -v -run 'TestServerSmoke' ./cmd/qss-server
 
 build:
 	$(GO) build ./...

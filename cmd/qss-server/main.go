@@ -1,0 +1,149 @@
+// Command qss-server is the resident synthesis service: one warm
+// process serving POST /v1/synthesize over HTTP, with the shared
+// content-addressed result cache and an optional persistent
+// distributed-exploration pool surviving across requests — the warm
+// path of repeat synthesis (~10µs vs ~46ms cold on the PFC example)
+// only pays off if the process does.
+//
+// Usage:
+//
+//	qss-server [-listen :9090] [-max-concurrent N] [-max-queue N]
+//	           [-max-nodes N] [-default-timeout 30s] [-max-timeout 2m]
+//	           [-drain-timeout 30s] [-dist-workers N]
+//	           [-dist-endpoint EP] [-dist-full-replicas]
+//
+// Endpoints: POST /v1/synthesize (JSON in/out), GET /healthz
+// (liveness), GET /readyz (admission readiness; 503 while draining),
+// GET /metrics (Prometheus text). SIGTERM or SIGINT begins a graceful
+// drain: readiness flips off, new synthesis requests are refused,
+// in-flight requests finish under -drain-timeout, the dist pool closes
+// once, and the process exits. See docs/SERVER.md for the operations
+// guide and JSON schemas.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/server"
+)
+
+func main() {
+	// A -dist-workers pool re-executes this binary for its local worker
+	// processes; they must become workers before flag parsing or main
+	// logic runs.
+	dist.MaybeWorker()
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		listen         = flag.String("listen", "127.0.0.1:9090", "address to serve HTTP on (host:port; port 0 picks a free port)")
+		maxConcurrent  = flag.Int("max-concurrent", 0, "simultaneous syntheses (0 = GOMAXPROCS)")
+		maxQueue       = flag.Int("max-queue", 0, "admission queue length beyond the concurrent slots; overflow is answered 429 (0 = 4x max-concurrent)")
+		maxNodes       = flag.Int("max-nodes", 0, "cap on the per-request state budget (0 = the search default, 2000000)")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "synthesis deadline for requests naming none")
+		maxTimeout     = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight requests")
+		distWorkers    = flag.Int("dist-workers", 0, "spawn this many persistent local dist worker processes shared by all requests (0 = in-process exploration)")
+		distEndpoint   = flag.String("dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning (requires -dist-workers)")
+		distFull       = flag.Bool("dist-full-replicas", false, "run the dist pool with full worker replicas instead of trimmed owned-shard ones")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "qss-server: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		return 2
+	}
+	if *distWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "qss-server: -dist-workers must be >= 0")
+		return 2
+	}
+	if *distEndpoint != "" && *distWorkers == 0 {
+		fmt.Fprintln(os.Stderr, "qss-server: -dist-endpoint requires -dist-workers")
+		return 2
+	}
+
+	cfg := server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		MaxNodes:       *maxNodes,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drainTimeout,
+		Log:            logger,
+	}
+	if *distWorkers > 0 {
+		var pool *dist.Pool
+		var err error
+		if *distEndpoint != "" {
+			logger.Printf("qss-server: awaiting %d external workers at %s", *distWorkers, *distEndpoint)
+			pool, err = dist.Listen(*distEndpoint, *distWorkers)
+		} else {
+			pool, err = dist.SpawnLocal(*distWorkers)
+		}
+		if err != nil {
+			logger.Printf("qss-server: dist pool: %v", err)
+			return 1
+		}
+		if *distFull {
+			pool.SetFullReplicas(true)
+		}
+		logger.Printf("qss-server: dist pool ready (%d workers, full-replicas=%v)", pool.NumWorkers(), *distFull)
+		cfg.Pool = pool
+	}
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Printf("qss-server: listen: %v", err)
+		return 1
+	}
+	// The resolved address line is a contract: port 0 callers (tests,
+	// scripts) parse it to find the server.
+	logger.Printf("qss-server: listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	code := 0
+	select {
+	case got := <-sig:
+		logger.Printf("qss-server: %v received, draining", got)
+		if err := srv.Drain(context.Background()); err != nil {
+			logger.Printf("qss-server: %v", err)
+			code = 1
+		}
+		// Health probes stayed answerable through the drain; now stop
+		// the listener and let idle keep-alives go.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("qss-server: shutdown: %v", err)
+			code = 1
+		}
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("qss-server: serve: %v", err)
+			// Serve failed underneath us; still drain so the pool closes.
+			srv.Drain(context.Background())
+			return 1
+		}
+	}
+	logger.Printf("qss-server: exit")
+	return code
+}

@@ -127,6 +127,27 @@
 // fire counts, chunk counts, received bytes per level) on the
 // 161k-state net.
 //
+// # Resident service
+//
+// The warm path of the content-addressed cache (~10µs versus ~46ms
+// cold on the PFC example) only pays off if the process holding it
+// survives the request, so cmd/qss-server keeps one warm:
+// internal/server multiplexes HTTP synthesis requests onto a single
+// resident process where all requests share the one cache and,
+// optionally, one persistent dist.Pool of worker processes reused
+// session after session. Admission is bounded — a fixed number of
+// concurrent synthesis slots plus a fixed-length waiting queue, with
+// overflow answered 429 immediately — and every request runs under its
+// own budgets (state-count cap and deadline, clamped to server
+// configuration). POST /v1/synthesize returns the generated C
+// byte-for-byte as the CLI would write it (golden-checked by the
+// server smoke test, `make server-smoke`); GET /metrics exposes the
+// cache, admission, latency and per-worker dist memory series in
+// Prometheus text format; SIGTERM begins a graceful drain — readiness
+// (GET /readyz) flips off, new work is refused, in-flight requests
+// finish under a deadline, the pool closes once. docs/SERVER.md is the
+// operations guide.
+//
 // # Scenario corpus
 //
 // Beyond the four hand-written applications of internal/apps, the

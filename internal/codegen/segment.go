@@ -3,6 +3,13 @@
 // segments, state variables are selected from the places that
 // discriminate the residual marking, and a sequential C task (the ISR)
 // is synthesized with goto chaining between segments.
+//
+// Generate is the structural half: it walks a sched.Schedule, splits it
+// into threads at await nodes (thread.go), merges shared tails into
+// reusable code segments (segment.go) and returns a Task. Synthesize is
+// the textual half: it renders a Task into a single C source —
+// deterministic byte-for-byte output, which is what the golden files,
+// the dist determinism matrix and the server smoke test all pin.
 package codegen
 
 import (

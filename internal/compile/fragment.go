@@ -3,6 +3,14 @@
 // into portions, each portion becomes a transition, data-dependent
 // control becomes Equal-Choice places, ports become places, and SELECT
 // becomes synchronization-dependent choice realized with read arcs.
+//
+// CompileProcess is the entry point: one flowc.Process in, one
+// CompiledProcess out — the process's Petri net plus the code fragment
+// attached to each transition, which is what link stitches into a
+// system net and codegen later emits as C. Leader selection
+// (leaders.go) follows the Section 3.1 rules; fragment extraction
+// (fragment.go) keeps the source text of each portion so the generated
+// task reproduces the user's computations verbatim.
 package compile
 
 import (

@@ -123,6 +123,12 @@ func cacheKey(flowcSrc, specSrc string, opt *Options) (key [32]byte, cacheable b
 	writeStr(flowcSrc)
 	writeStr(specSrc)
 	writeBool(opt.SkipIndependence)
+	// The request-scoped state budget changes what a search can return
+	// (ErrBudget vs a schedule), so it must discriminate entries. Two
+	// calls expressing the same effective budget through different
+	// fields (Options.MaxNodes vs Sched.MaxNodes) hash apart — a missed
+	// share, never a wrong hit.
+	writeInt(int64(opt.MaxNodes))
 	if opt.Sched != nil {
 		writeBool(opt.Sched.MultiSource)
 		writeInt(int64(opt.Sched.MaxNodes))

@@ -83,6 +83,14 @@ type Options struct {
 	// this call. Only the textual entry points (Synthesize,
 	// SynthesizeContext) consult the cache; see cache.go.
 	DisableCache bool
+	// MaxNodes bounds the states each schedule search may create, a
+	// request-scoped budget for callers (such as the resident server)
+	// that must stop one huge net from monopolizing the process without
+	// importing the sched package. 0 keeps the sched default; an
+	// explicit Sched.MaxNodes always wins. The value is part of the
+	// cache key — different budgets can legitimately produce different
+	// outcomes (ErrBudget vs a schedule).
+	MaxNodes int
 }
 
 // Result is the outcome of the full flow.
@@ -134,36 +142,46 @@ func Synthesize(flowcSrc, specSrc string, opt *Options) (*Result, error) {
 // same options returns the memoized Result (see cache.go). Cached
 // Results are shared; callers must treat them as read-only.
 func SynthesizeContext(ctx context.Context, flowcSrc, specSrc string, opt *Options) (*Result, error) {
+	r, _, err := SynthesizeCachedContext(ctx, flowcSrc, specSrc, opt)
+	return r, err
+}
+
+// SynthesizeCachedContext is SynthesizeContext that additionally
+// reports whether the Result came out of the content-addressed cache —
+// the per-call signal a multiplexing caller (the resident server's hit
+// counters and latency accounting) needs, which the process-global
+// Stats counters cannot provide under concurrency.
+func SynthesizeCachedContext(ctx context.Context, flowcSrc, specSrc string, opt *Options) (*Result, bool, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
 	// A cancelled call must fail even on a cache hit, or cancellation
 	// would depend on what happens to be cached.
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, false, fmt.Errorf("core: %w", err)
 	}
 	key, cacheable := cacheKey(flowcSrc, specSrc, opt)
 	if cacheable {
 		if r, ok := synthCache.get(key); ok {
-			return r, nil
+			return r, true, nil
 		}
 	}
 	f, err := flowc.ParseFile(flowcSrc)
 	if err != nil {
-		return nil, fmt.Errorf("core: parse FlowC: %w", err)
+		return nil, false, fmt.Errorf("core: parse FlowC: %w", err)
 	}
 	spec, err := link.ParseSpec(strings.NewReader(specSrc))
 	if err != nil {
-		return nil, fmt.Errorf("core: parse netlist: %w", err)
+		return nil, false, fmt.Errorf("core: parse netlist: %w", err)
 	}
 	res, err := SynthesizeSystemContext(ctx, f, spec, opt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if cacheable {
 		synthCache.put(key, res)
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // SynthesizeSystem runs the flow on parsed inputs.
@@ -179,6 +197,7 @@ func SynthesizeSystemContext(ctx context.Context, f *flowc.File, spec *link.Spec
 	if opt == nil {
 		opt = &Options{}
 	}
+	opt = withMaxNodes(opt)
 	if err := flowc.CheckFile(f); err != nil {
 		return nil, fmt.Errorf("core: check: %w", err)
 	}
@@ -322,6 +341,23 @@ func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Option
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return out, nil
+}
+
+// withMaxNodes folds a request-scoped Options.MaxNodes budget into the
+// sched options, copying rather than mutating the caller's structs. An
+// explicit Sched.MaxNodes wins; 0 leaves everything untouched.
+func withMaxNodes(opt *Options) *Options {
+	if opt.MaxNodes <= 0 || (opt.Sched != nil && opt.Sched.MaxNodes != 0) {
+		return opt
+	}
+	o := *opt
+	so := sched.Options{}
+	if opt.Sched != nil {
+		so = *opt.Sched
+	}
+	so.MaxNodes = opt.MaxNodes
+	o.Sched = &so
+	return &o
 }
 
 // wireExploreWorkers resolves the frontier-level worker count of the

@@ -215,6 +215,18 @@ func (p *Pool) trimmed() bool {
 	return true
 }
 
+// Err reports the infrastructure failure that poisoned the pool, or
+// nil while the pool is healthy. A session error is fatal to the pool
+// (every later RunFrontier fails fast with the same cause), so
+// long-lived owners amortizing one pool across many sessions — the
+// resident server — probe Err after a failed synthesis to decide
+// between retiring the pool and blaming the request.
+func (p *Pool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.broken
+}
+
 // LastSessionStats returns the protocol accounting of the most recently
 // completed RunFrontier session.
 func (p *Pool) LastSessionStats() SessionStats {

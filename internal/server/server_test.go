@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// postSynth sends one synthesis request and decodes the response.
+func postSynth(t *testing.T, url string, req *synthesizeRequest) (int, *synthesizeResponse, *errorResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out synthesizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode success body: %v", err)
+		}
+		return resp.StatusCode, &out, nil
+	}
+	var out errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode error body (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, nil, &out
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestSynthesizeSharedCache proves the tentpole property: sequential
+// and concurrent requests against one server share one warm cache. The
+// second request of identical sources reports a cache hit, returns
+// byte-identical code, and is orders of magnitude faster; a concurrent
+// fan-in of the same sources after warmup is all hits.
+func TestSynthesizeSharedCache(t *testing.T) {
+	core.ResetCache()
+	srv := New(Config{MaxConcurrent: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec}
+	status, cold, _ := postSynth(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold request: status %d", status)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold request reported a cache hit")
+	}
+	if len(cold.Code) == 0 || cold.System != "divisors" {
+		t.Fatalf("cold response malformed: system=%q tasks=%d", cold.System, len(cold.Tasks))
+	}
+
+	status, warm, _ := postSynth(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm request: status %d", status)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second identical request did not hit the shared cache")
+	}
+	for name, code := range cold.Code {
+		if warm.Code[name] != code {
+			t.Fatalf("cache hit returned different code for %s", name)
+		}
+	}
+	// The warm path is a hash plus a map lookup (~10µs); 1ms of
+	// server-side synthesis time is two orders of magnitude of headroom.
+	if warm.SynthesisUS > 1000 {
+		t.Errorf("warm synthesis took %dµs, want < 1000µs", warm.SynthesisUS)
+	}
+
+	// Concurrent fan-in after warmup: every request is a hit, proving
+	// the handlers consult one shared cache rather than per-request
+	// state.
+	const fan = 8
+	var wg sync.WaitGroup
+	hits := make([]bool, fan)
+	for i := 0; i < fan; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var out synthesizeResponse
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&out) == nil {
+				hits[i] = out.CacheHit
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("concurrent request %d missed the warm cache", i)
+		}
+	}
+
+	// The hit counters prove it too: 1 miss (cold), >= 9 hits.
+	_, metricsBody := getBody(t, ts.URL+"/metrics")
+	assertMetricMin(t, metricsBody, "qss_cache_hits_total", 9)
+	assertMetricMin(t, metricsBody, "qss_cache_misses_total", 1)
+}
+
+// assertMetricMin finds an unlabelled sample line and asserts its value
+// is at least min.
+func assertMetricMin(t *testing.T, body, name string, min float64) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %g", &v); err != nil {
+				t.Fatalf("unparsable sample %q: %v", line, err)
+			}
+			if v < min {
+				t.Errorf("%s = %g, want >= %g", name, v, min)
+			}
+			return
+		}
+	}
+	t.Errorf("metric %s not exposed", name)
+}
+
+// blockingServer builds a server whose synthesize function parks until
+// release is called, then serves a precomputed real result — the
+// controllable stand-in for a long synthesis. release is idempotent and
+// registered as a cleanup, so a failing test never wedges the
+// httptest.Server teardown behind a parked handler.
+func blockingServer(t *testing.T, cfg Config) (srv *Server, started chan struct{}, release func()) {
+	t.Helper()
+	res, err := core.Synthesize(apps.Divisors, apps.DivisorsSpec, &core.Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started = make(chan struct{}, 16)
+	releaseCh := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(releaseCh) }) }
+	t.Cleanup(release)
+	srv = New(cfg)
+	srv.synthesize = func(ctx context.Context, req *synthesizeRequest, opt *core.Options) (*core.Result, bool, error) {
+		started <- struct{}{}
+		select {
+		case <-releaseCh:
+			return res, false, nil
+		case <-ctx.Done():
+			return nil, false, fmt.Errorf("core: %w", ctx.Err())
+		}
+	}
+	return srv, started, release
+}
+
+// TestQueueOverflow429 pins the bounded admission queue: with one slot
+// and a one-deep queue, the third simultaneous request is rejected
+// immediately with 429 rather than parked.
+func TestQueueOverflow429(t *testing.T) {
+	srv, started, release := blockingServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer release()
+
+	req := &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec}
+	body, _ := json.Marshal(req)
+
+	results := make(chan int, 2)
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			results <- -1
+			return
+		}
+		resp.Body.Close()
+		results <- resp.StatusCode
+	}
+	go post() // A: takes the slot
+	<-started
+	go post() // B: parks in the queue
+	// B is queued once the queue-depth gauge reads 1.
+	waitGauge(t, srv, func(m *metrics) float64 { return m.queueDepth.v }, 1)
+
+	status, _, _ := postSynth(t, ts.URL, req) // C: queue full
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429", status)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if got := <-results; got != http.StatusOK {
+			t.Fatalf("admitted request finished with status %d", got)
+		}
+	}
+}
+
+// waitGauge polls a registry gauge until it reaches want (the tests'
+// only ordering dependency on handler goroutines).
+func waitGauge(t *testing.T, srv *Server, read func(*metrics) float64, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.metrics.mu.Lock()
+		v := read(srv.metrics)
+		srv.metrics.mu.Unlock()
+		if v == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("gauge never reached %g", want)
+}
+
+// TestDrainLifecycle pins the graceful-drain contract: /readyz flips
+// non-200 the moment drain begins while an admitted request is still
+// running, new synthesis requests are refused with 503, the in-flight
+// request completes successfully, and Drain returns once it has.
+func TestDrainLifecycle(t *testing.T) {
+	srv, started, release := blockingServer(t, Config{MaxConcurrent: 2, DrainTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer release()
+
+	if status, _ := getBody(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", status)
+	}
+
+	req := &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec}
+	body, _ := json.Marshal(req)
+	inflightDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflightDone <- -1
+			return
+		}
+		resp.Body.Close()
+		inflightDone <- resp.StatusCode
+	}()
+	<-started
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(context.Background()) }()
+
+	// Readiness flips off while the request is still in flight.
+	waitReadyz(t, ts.URL, http.StatusServiceUnavailable)
+	select {
+	case <-inflightDone:
+		t.Fatal("in-flight request finished before it was released; test is vacuous")
+	default:
+	}
+
+	// Liveness stays green; new synthesis work is refused.
+	if status, _ := getBody(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", status)
+	}
+	if status, _, errResp := postSynth(t, ts.URL, req); status != http.StatusServiceUnavailable {
+		t.Fatalf("synthesize during drain: status %d (%v)", status, errResp)
+	}
+
+	// The in-flight request finishes, and only then does Drain return.
+	release()
+	if status := <-inflightDone; status != http.StatusOK {
+		t.Fatalf("in-flight request finished with status %d, want 200", status)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Drain is idempotent.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func waitReadyz(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		status, _ := getBody(t, url+"/readyz")
+		if status == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("readyz never reached %d", want)
+}
+
+// TestDrainDeadline: a request that never finishes makes Drain report
+// the deadline instead of hanging forever.
+func TestDrainDeadline(t *testing.T) {
+	srv, started, release := blockingServer(t, Config{MaxConcurrent: 1, DrainTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer release()
+
+	req := &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec}
+	body, _ := json.Marshal(req)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	if err := srv.Drain(context.Background()); err == nil {
+		t.Fatal("drain with a hung request returned nil, want deadline error")
+	}
+}
+
+// TestRequestBudgets pins the per-request budget clamps: a tiny
+// MaxNodes budget turns a schedulable system into a bounded 422, and a
+// tiny timeout into a 504 — either way the server survives to serve the
+// next request.
+func TestRequestBudgets(t *testing.T) {
+	core.ResetCache()
+	srv := New(Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// State budget: 2 nodes cannot hold the divisors marking graph.
+	status, _, errResp := postSynth(t, ts.URL, &synthesizeRequest{
+		FlowC: apps.Divisors, Net: apps.DivisorsSpec, MaxNodes: 2,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("budget-starved request: status %d (%v), want 422", status, errResp)
+	}
+
+	// Deadline: park the synthesis via the stub until the context ends.
+	srv.synthesize = func(ctx context.Context, req *synthesizeRequest, opt *core.Options) (*core.Result, bool, error) {
+		<-ctx.Done()
+		return nil, false, fmt.Errorf("core: %w", ctx.Err())
+	}
+	status, _, _ = postSynth(t, ts.URL, &synthesizeRequest{
+		FlowC: apps.Divisors, Net: apps.DivisorsSpec, TimeoutMS: 1,
+	})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request: status %d, want 504", status)
+	}
+
+	// The server still works afterwards.
+	srv.synthesize = defaultSynthesize
+	status, res, _ := postSynth(t, ts.URL, &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec})
+	if status != http.StatusOK || len(res.Code) == 0 {
+		t.Fatalf("request after failures: status %d", status)
+	}
+}
+
+// TestBadRequests pins the 400/422 classification.
+func TestBadRequests(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"not json", `{`, http.StatusBadRequest},
+		{"missing net", `{"flowc":"PROCESS p (In DPORT a) { int x; while (1) { READ_DATA(a, &x, 1); } }"}`, http.StatusBadRequest},
+		{"unparsable flowc", `{"flowc":"not flowc","net":"system x\ninput a -> p.a uncontrollable"}`, http.StatusUnprocessableEntity},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// An unschedulable but well-formed system is the request's fault.
+	status, _, errResp := postSynth(t, ts.URL, &synthesizeRequest{
+		FlowC: apps.FalsePathPlain, Net: apps.FalsePathPlainSpec,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("unschedulable system: status %d (%v), want 422", status, errResp)
+	}
+}
+
+// TestResponseMatchesCLI pins the service contract the smoke test
+// checks end to end: the code map of a /v1/synthesize response is
+// byte-identical to what the library path produces.
+func TestResponseMatchesCLI(t *testing.T) {
+	core.ResetCache()
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	want, err := core.Synthesize(apps.MultiRate, apps.MultiRateSpec, &core.Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, got, _ := postSynth(t, ts.URL, &synthesizeRequest{FlowC: apps.MultiRate, Net: apps.MultiRateSpec})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(got.Code) != len(want.Code) {
+		t.Fatalf("task count: got %d, want %d", len(got.Code), len(want.Code))
+	}
+	for name, code := range want.Code {
+		if got.Code[name] != code {
+			t.Errorf("task %s differs from the library path", name)
+		}
+	}
+	for _, ch := range want.Sys.Channels {
+		if got.Bounds[ch.Spec.Name] != want.Bounds[ch.Place.ID] {
+			t.Errorf("bound %s: got %d, want %d", ch.Spec.Name, got.Bounds[ch.Spec.Name], want.Bounds[ch.Place.ID])
+		}
+	}
+}
