@@ -12,6 +12,12 @@
 #                      store bytes <= 0.75x the full-replica baseline
 #                      at 2 workers, plus the ~1/N scaling curve
 #                      (exact live byte counts, machine-independent)
+#   make dist-chaos  — the seeded fault-injection matrix: heartbeat
+#                      death detection, kill/sever/delay faults over
+#                      pipe pools, and a real spawned worker SIGKILLed
+#                      mid-session with respawn + msgRestore recovery —
+#                      all asserting byte-identical output vs serial.
+#                      QSS_CHAOS_SEED/QSS_CHAOS_ROUNDS widen the sweep
 #   make server-smoke— build the real qss-server binary, start it, and
 #                      exercise /healthz, /readyz, /metrics and a real
 #                      /v1/synthesize whose returned C must be
@@ -26,7 +32,7 @@ FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
 BENCH_ALLOC_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test dist-matrix dist-memory server-smoke bench benchgate baseline fuzz-smoke
+.PHONY: ci build vet test dist-matrix dist-memory dist-chaos server-smoke bench benchgate baseline fuzz-smoke
 
 ci: build vet test server-smoke bench benchgate fuzz-smoke
 
@@ -35,6 +41,9 @@ dist-matrix:
 
 dist-memory:
 	$(GO) test -race -count=1 -v -run 'TestDistTrimmedMemoryGate|TestDistTrimmedMemoryScaling' ./internal/dist
+
+dist-chaos:
+	$(GO) test -race -count=1 -v -run 'TestHelloPidRoundTrip|TestHeartbeatTimeout|TestChaosPipeMatrix|TestChaosSpawnedKill' ./internal/dist
 
 server-smoke:
 	$(GO) test -count=1 -v -run 'TestServerSmoke' ./cmd/qss-server

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	qssd -connect unix:/path/to.sock
-//	qssd -connect tcp:host:port [-timeout 30s] [-full-replicas]
+//	qssd -connect tcp:host:port [-timeout 30s] [-dial-attempts N] [-full-replicas]
 //
 // One qssd process is one worker; start as many as the coordinator was
 // told to await. -full-replicas advertises that this worker refuses
@@ -37,6 +37,7 @@ func main() {
 func realMain() int {
 	connect := flag.String("connect", "", "coordinator endpoint (unix:/path, tcp:host:port, or a bare unix-socket path)")
 	timeout := flag.Duration("timeout", 30*time.Second, "how long to keep retrying the initial dial")
+	dialAttempts := flag.Int("dial-attempts", 0, "cap the initial-dial retries (exponential backoff with jitter); 0 retries until -timeout expires")
 	fullReplicas := flag.Bool("full-replicas", false, "refuse trimmed sessions; the coordinator falls back to full-replica mode")
 	flag.Parse()
 	if *connect == "" {
@@ -49,7 +50,7 @@ func realMain() int {
 		flag.Usage()
 		return 2
 	}
-	if err := dist.Serve(*connect, *timeout, dist.WorkerOptions{FullReplicas: *fullReplicas}); err != nil {
+	if err := dist.Serve(*connect, *timeout, dist.WorkerOptions{FullReplicas: *fullReplicas, DialAttempts: *dialAttempts}); err != nil {
 		fmt.Fprintln(os.Stderr, "qssd:", err)
 		return 1
 	}

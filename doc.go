@@ -127,6 +127,35 @@
 // fire counts, chunk counts, received bytes per level) on the
 // 161k-state net.
 //
+// # Failure model
+//
+// Determinism is also what makes worker failure survivable: any
+// correct re-execution produces the same bytes, so the coordinator may
+// freely restart, replace or abandon workers mid-session (dist
+// protocol 4). Liveness is heartbeat-probed (msgPing/msgPong plus
+// read/write deadlines), so a silently dead or wedged worker is
+// unmasked within a bounded interval even while its TCP connection
+// looks healthy. On a death the coordinator pauses at the last
+// committed BFS level, quiesces the survivors, respawns a replacement
+// process when it can (SpawnLocal pools; bounded retries with
+// exponential backoff and jitter) — rebuilding its trimmed replica by
+// streaming the owned store slice over msgRestore — or redistributes
+// the dead worker's shards across the survivors, then replays the
+// interrupted level discarding already-merged candidates by count.
+// ReachResult, schedules and generated C stay byte-identical to a
+// fault-free run. When recovery is exhausted the failure degrades
+// rather than propagates: petri.ExploreOptions.DistFallback and
+// sched.Options.DistFallback rerun the exploration in-process (core
+// enables them unless core.Options.DistNoFallback), and
+// dist.SessionStats/Pool.RecoveryStats report restarts, redistributed
+// shards and degradation — surfaced by the server as
+// qss_dist_worker_restarts_total and qss_dist_pool_degraded. The
+// fault-injection matrix (`make dist-chaos`, its own CI job, a
+// randomized-seed nightly sweep) drives kill/sever/delay faults
+// through a seeded chaos conn shim and real SIGKILLed workers,
+// asserting byte-identical output against serial for every fault
+// point.
+//
 // # Resident service
 //
 // The warm path of the content-addressed cache (~10µs versus ~46ms

@@ -79,6 +79,13 @@ type Options struct {
 	// byte-identical either way. A pre-connected Dist pool carries its
 	// own mode (dist.Pool.SetFullReplicas) and ignores this field.
 	DistFullReplicas bool
+	// DistNoFallback makes a distributed-pool failure (worker death
+	// with recovery exhausted) fail the Synthesize call instead of
+	// transparently rerunning the affected searches in-process. The
+	// default (fallback on) prefers a slower correct answer over an
+	// infrastructure error: determinism guarantees the local rerun is
+	// byte-identical to what the pool would have produced.
+	DistNoFallback bool
 	// DisableCache bypasses the content-addressed synthesis cache for
 	// this call. Only the textual entry points (Synthesize,
 	// SynthesizeContext) consult the cache; see cache.go.
@@ -302,6 +309,7 @@ func findSchedules(ctx context.Context, n *petri.Net, sources []int, opt *Option
 			so = *schedOpt
 		}
 		so.Dist = distPool
+		so.DistFallback = !opt.DistNoFallback
 		so.ExploreWorkers = 0
 		schedOpt = &so
 	}

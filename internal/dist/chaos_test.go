@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/petri"
+)
+
+// Fault-injection tests over net.Pipe pools: heartbeat-based death
+// detection, and the in-process chaos matrix asserting byte-identical
+// results across {kill mid-level, sever mid-frame, delay/fragment}
+// faults. Pipe pools cannot respawn (no listener, no binary), so every
+// recovery here exercises the shard-redistribution path; process
+// respawn is covered by the spawned chaos test in package dist_test.
+
+// chaosSeed parameterizes the fault points; CI pins the default, the
+// nightly sweep randomizes it via QSS_CHAOS_SEED.
+func chaosSeed() int64 {
+	if s := os.Getenv("QSS_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
+
+// chaosPool is pipePoolOf without the clean-exit assertion: chaos
+// workers are expected to die with transport errors. wrap, when set,
+// interposes on worker i's conn (the shim sees the worker's writes).
+// The worker-side pipe ends are retained so kill-style faults can
+// sever a live link from the "worker died" direction.
+type chaosPool struct {
+	*Pool
+	wconns []net.Conn
+}
+
+func newChaosPool(t *testing.T, n int, wrap func(i int, c net.Conn) net.Conn) *chaosPool {
+	t.Helper()
+	p := &Pool{logw: newLogWriter("coord")}
+	cp := &chaosPool{Pool: p}
+	for i := 0; i < n; i++ {
+		cs, ws := net.Pipe()
+		wc := net.Conn(ws)
+		if wrap != nil {
+			if w := wrap(i, ws); w != nil {
+				wc = w
+			}
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- serveConnVer(wc, newLogWriter("worker"), WorkerOptions{}, protoVersion) }()
+		c := newConn(cs)
+		payload, err := c.expect(msgHello)
+		var ver int
+		var flags uint64
+		if err == nil {
+			ver, flags, _, err = checkHello(payload)
+		}
+		if err != nil {
+			t.Fatalf("chaos worker %d handshake: %v", i, err)
+		}
+		p.workers = append(p.workers, c)
+		p.wantFull = append(p.wantFull, flags&helloFullReplicas != 0)
+		p.vers = append(p.vers, ver)
+		cp.wconns = append(cp.wconns, ws)
+		t.Cleanup(func() {
+			cs.Close()
+			ws.Close()
+			<-errc // exit error (if any) is the fault under test
+		})
+	}
+	return cp
+}
+
+// TestHelloPidRoundTrip: the version-4 hello's trailing pid — the
+// SpawnLocal conn-to-process mapping that kill/respawn depends on —
+// survives the wire, and pre-version-4 hellos parse with pid 0.
+// (Regression: the pid was once decoded at the flags offset and came
+// back 0, making every respawn pool think its workers were external.)
+func TestHelloPidRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		ver, pid, want int
+	}{{2, 0, 0}, {3, 0, 0}, {4, 12345, 12345}, {4, 1, 1}} {
+		cs, ws := net.Pipe()
+		go func() {
+			newConn(ws).sendHello(tc.ver, helloFullReplicas, tc.pid)
+		}()
+		c := newConn(cs)
+		payload, err := c.expect(msgHello)
+		if err != nil {
+			t.Fatalf("v%d: %v", tc.ver, err)
+		}
+		ver, flags, pid, err := checkHello(payload)
+		cs.Close()
+		ws.Close()
+		if err != nil {
+			t.Fatalf("v%d: checkHello: %v", tc.ver, err)
+		}
+		if ver != tc.ver || flags != helloFullReplicas || pid != tc.want {
+			t.Fatalf("v%d pid %d: got ver=%d flags=%d pid=%d", tc.ver, tc.pid, ver, flags, pid)
+		}
+	}
+}
+
+// TestHeartbeatTimeout: a worker that stops reading its results but
+// keeps the connection open — the classic silent hang — must be
+// declared dead within the configured heartbeat interval, not block
+// the session forever. The stand-in worker completes the handshake,
+// then reads and discards every frame (so coordinator writes succeed)
+// without ever replying; only the heartbeat timer can unmask it.
+func TestHeartbeatTimeout(t *testing.T) {
+	oldInt, oldTO := heartbeatInterval, heartbeatTimeout
+	heartbeatInterval, heartbeatTimeout = 20*time.Millisecond, 200*time.Millisecond
+	defer func() { heartbeatInterval, heartbeatTimeout = oldInt, oldTO }()
+
+	cs, ws := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := newConn(ws)
+		if err := c.sendHello(protoVersion, 0, os.Getpid()); err != nil {
+			return
+		}
+		for {
+			if _, _, err := c.recv(); err != nil {
+				return
+			}
+		}
+	}()
+	p := &Pool{logw: newLogWriter("coord")}
+	c := newConn(cs)
+	payload, err := c.expect(msgHello)
+	if err == nil {
+		_, _, _, err = checkHello(payload)
+	}
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	p.workers = append(p.workers, c)
+	p.wantFull = append(p.wantFull, false)
+	p.vers = append(p.vers, protoVersion)
+	t.Cleanup(func() { cs.Close(); ws.Close(); <-done })
+
+	n := ringNet(2, 4)
+	begin := time.Now()
+	_, err = n.ExploreDist(p, petri.ExploreOptions{MaxMarkings: 1000})
+	elapsed := time.Since(begin)
+	if err == nil {
+		t.Fatal("session against a silent worker succeeded")
+	}
+	if !strings.Contains(err.Error(), "heartbeat") {
+		t.Fatalf("error does not name the heartbeat timeout: %v", err)
+	}
+	// Detection plus the (futile, single-worker) recovery round must
+	// land within a small multiple of the timeout, not a scheduler-
+	// dependent eternity.
+	if limit := 10 * heartbeatTimeout; elapsed > limit {
+		t.Fatalf("silent worker unmasked after %v, want under %v", elapsed, limit)
+	}
+	if !p.LastSessionStats().Degraded {
+		t.Fatal("stats do not report the degraded session")
+	}
+}
+
+// TestChaosPipeMatrix: the chaos determinism matrix over pipe pools.
+// For worker counts {1, 2, 4} and faults {kill a worker mid-level,
+// sever its conn mid-frame, delay+fragment every write}, exploration
+// through the pool — falling back in-process when recovery is
+// impossible — yields results byte-identical to the serial run.
+func TestChaosPipeMatrix(t *testing.T) {
+	seed := chaosSeed()
+	n := ringNet(3, 5)
+	base := petri.ExploreOptions{MaxMarkings: 2000}
+	want := n.Explore(base)
+	opt := base
+	opt.DistFallback = true
+
+	for _, W := range []int{1, 2, 4} {
+		for _, mode := range []string{"kill", "sever", "delay"} {
+			t.Run(mode+"-"+strconv.Itoa(W), func(t *testing.T) {
+				var cp *chaosPool
+				switch mode {
+				case "kill":
+					cp = newChaosPool(t, W, nil)
+					// Close the victim's transport from the worker side
+					// at the first level commit — a worker crash while
+					// the next frontier is in flight.
+					victim := int(seed) % W
+					if victim < 0 {
+						victim = -victim
+					}
+					var once sync.Once
+					cp.SetLevelHook(func(level int) {
+						once.Do(func() { cp.wconns[victim].Close() })
+					})
+				case "sever":
+					// Cut one worker's write stream a seeded few hundred
+					// bytes in — mid-frame with near certainty — so the
+					// coordinator sees a truncated frame then EOF.
+					cp = newChaosPool(t, W, func(i int, c net.Conn) net.Conn {
+						if i != 0 {
+							return nil
+						}
+						return newChaosConn(c, chaosOpts{seed: seed, severAt: 64 + seed%128 + int64(W)})
+					})
+				case "delay":
+					// Latency and fragmentation on every link, no fault:
+					// the session must absorb it without false deaths.
+					cp = newChaosPool(t, W, func(i int, c net.Conn) net.Conn {
+						return newChaosConn(c, chaosOpts{seed: seed + int64(i), delay: 2 * time.Millisecond})
+					})
+				}
+				got, err := n.ExploreDist(cp.Pool, opt)
+				if err != nil {
+					t.Fatalf("ExploreDist under %s: %v", mode, err)
+				}
+				requireSameReach(t, mode, want, got)
+				st := cp.LastSessionStats()
+				switch {
+				case mode == "delay":
+					if st.Restarts != 0 || st.Degraded {
+						t.Fatalf("delay-only session reported recovery: %+v", st)
+					}
+				case W == 1:
+					// The only worker died and pipes cannot respawn:
+					// the pool must degrade and the fallback answer.
+					if !st.Degraded {
+						t.Fatalf("single-worker %s did not degrade: %+v", mode, st)
+					}
+				default:
+					if st.Restarts < 1 {
+						t.Fatalf("%s with %d workers recovered without a restart round: %+v", mode, W, st)
+					}
+					if st.Redistributed < 1 {
+						t.Fatalf("%s with %d workers redistributed no shards: %+v", mode, W, st)
+					}
+					if st.Degraded {
+						t.Fatalf("%s with %d workers should recover, not degrade: %+v", mode, W, st)
+					}
+				}
+			})
+		}
+	}
+}

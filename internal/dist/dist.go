@@ -88,10 +88,42 @@
 // Listen. Set QSS_DIST_LOGDIR to make coordinator and workers write
 // per-process log files (CI uploads them when the determinism matrix
 // fails).
+//
+// # Failure model
+//
+// Protocol 4 makes a session survive the loss of workers. Liveness is
+// monitored from both directions: every protocol-4 connection runs
+// per-message write deadlines (sendTimeout) plus a generous worker-side
+// read deadline, and while the coordinator's merge awaits a frame it
+// pings the awaited worker every heartbeatInterval — a worker from
+// which no frame at all arrives within heartbeatTimeout is declared
+// dead even if its TCP connection looks healthy. Any frame (a pong
+// included) counts as life; a worker grinding through a huge level is
+// never misdeclared as long as it keeps draining pings.
+//
+// On a death the coordinator pauses at the last committed level,
+// quiesces the survivors, and rebuilds the pool: a SpawnLocal pool
+// re-execs a replacement process (bounded retries, exponential backoff
+// with jitter) and reloads its trimmed replica by streaming the owned
+// post-level store slice over msgRestore; a pool that cannot respawn
+// (external workers) redistributes the dead worker's shards across the
+// survivors instead. The session then replays the interrupted level
+// against the authoritative store — replayed candidates are discarded
+// by count, so ReachResult, schedules and generated C stay
+// byte-identical to a fault-free run. Recovery is bounded
+// (maxSessionRestarts rounds per session); when it is exhausted, or no
+// worker survives, the session error poisons the pool
+// (Pool.Err) and callers fall back: petri.ExploreOptions.DistFallback
+// and sched.Options.DistFallback rerun the exploration in-process
+// (core sets them unless core.Options.DistNoFallback), so synthesis
+// degrades to local execution rather than failing. SessionStats
+// (Restarts, Redistributed, Degraded) and Pool.RecoveryStats surface
+// what happened; the qss-server exports them as metrics.
 package dist
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"strings"
@@ -122,23 +154,35 @@ func ParseEndpoint(ep string) (network, addr string, err error) {
 	}
 }
 
-// dialRetry dials the endpoint, retrying briefly: a spawned worker may
-// race the coordinator's listener setup by a few milliseconds.
-func dialRetry(ep string, budget time.Duration) (net.Conn, error) {
+// dialRetry dials the endpoint with exponential backoff and jitter: a
+// spawned worker may race the coordinator's listener setup by
+// milliseconds, while an externally started qssd may come up long
+// before its coordinator — short retries first, then progressively
+// patient ones that do not stampede a coordinator accepting a whole
+// pool at once. maxAttempts > 0 additionally caps the number of dials
+// (cmd/qssd -dial-attempts); 0 retries until the budget expires.
+func dialRetry(ep string, budget time.Duration, maxAttempts int) (net.Conn, error) {
 	network, addr, err := ParseEndpoint(ep)
 	if err != nil {
 		return nil, err
 	}
 	deadline := time.Now().Add(budget)
-	for {
+	backoff := 25 * time.Millisecond
+	for attempt := 1; ; attempt++ {
 		c, err := net.Dial(network, addr)
 		if err == nil {
 			return c, nil
 		}
+		if maxAttempts > 0 && attempt >= maxAttempts {
+			return nil, fmt.Errorf("dist: dial %s: %w (after %d attempts)", ep, err, attempt)
+		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dist: dial %s: %w", ep, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
 	}
 }
 
@@ -147,7 +191,7 @@ func dialRetry(ep string, budget time.Duration) (net.Conn, error) {
 // closes the connection — the body of the cmd/qssd worker binary.
 func Serve(endpoint string, dialBudget time.Duration, opt WorkerOptions) error {
 	logw := newLogWriterTo("worker", os.Stderr)
-	conn, err := dialRetry(endpoint, dialBudget)
+	conn, err := dialRetry(endpoint, dialBudget, opt.DialAttempts)
 	if err != nil {
 		return err
 	}
@@ -169,7 +213,7 @@ func MaybeWorker() {
 	}
 	logw := newLogWriter("worker")
 	ep := os.Getenv(EnvEndpoint)
-	conn, err := dialRetry(ep, 10*time.Second)
+	conn, err := dialRetry(ep, 10*time.Second, 0)
 	if err != nil {
 		logw.printf("%v", err)
 		os.Exit(1)

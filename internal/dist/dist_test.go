@@ -55,7 +55,7 @@ func pipePoolOf(t *testing.T, specs []pipeWorker) *Pool {
 		var gotVer int
 		var flags uint64
 		if err == nil {
-			gotVer, flags, err = checkHello(payload)
+			gotVer, flags, _, err = checkHello(payload)
 		}
 		if err != nil {
 			t.Fatalf("pipe worker %d handshake: %v", i, err)
@@ -228,14 +228,14 @@ func TestPoolPoisoned(t *testing.T) {
 	cs, ws := net.Pipe()
 	go func() {
 		c := newConn(ws)
-		c.sendHello(protoVersion, 0)
+		c.sendHello(protoVersion, 0, 0)
 		c.recv() // init
 		ws.Close()
 	}()
 	c := newConn(cs)
 	payload, err := c.expect(msgHello)
 	if err == nil {
-		_, _, err = checkHello(payload)
+		_, _, _, err = checkHello(payload)
 	}
 	if err != nil {
 		t.Fatalf("handshake: %v", err)

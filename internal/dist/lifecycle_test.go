@@ -73,7 +73,7 @@ func TestWorkerSurvivesBadSession(t *testing.T) {
 	c := newConn(cs)
 	payload, err := c.expect(msgHello)
 	if err == nil {
-		_, _, err = checkHello(payload)
+		_, _, _, err = checkHello(payload)
 	}
 	if err != nil {
 		t.Fatalf("handshake: %v", err)

@@ -72,8 +72,8 @@ func TestExploreDistPipelinedDelayedWorker(t *testing.T) {
 				t.Fatalf("%s, worker %d delayed: %v", mode.name, slow, err)
 			}
 			requireSameReach(t, fmt.Sprintf("%s, worker %d delayed", mode.name, slow), want, got)
-			if st := p.LastSessionStats(); st.Proto != 3 {
-				t.Fatalf("session ran protocol %d, want 3", st.Proto)
+			if st := p.LastSessionStats(); st.Proto != 4 {
+				t.Fatalf("session ran protocol %d, want 4", st.Proto)
 			}
 		}
 	}
@@ -103,8 +103,8 @@ func TestHelloDowngrade(t *testing.T) {
 		t.Fatalf("pure pool: %v", err)
 	}
 	requireSameReach(t, "pure pool", want, got)
-	if st := pure.LastSessionStats(); st.Proto != 3 {
-		t.Fatalf("pure pool ran protocol %d, want 3", st.Proto)
+	if st := pure.LastSessionStats(); st.Proto != 4 {
+		t.Fatalf("pure pool ran protocol %d, want 4", st.Proto)
 	}
 }
 
@@ -125,8 +125,8 @@ func TestCandNewNoRefire(t *testing.T) {
 		t.Fatal(err)
 	}
 	st3 := p3.LastSessionStats()
-	if st3.Proto != 3 {
-		t.Fatalf("protocol %d, want 3", st3.Proto)
+	if st3.Proto != 4 {
+		t.Fatalf("protocol %d, want 4", st3.Proto)
 	}
 	if st3.CandNew == 0 || st3.Chunks == 0 {
 		t.Fatalf("no candNew or chunks recorded: %+v", st3)

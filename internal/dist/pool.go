@@ -21,15 +21,31 @@ import (
 type Pool struct {
 	mu       sync.Mutex
 	workers  []*conn
-	wantFull []bool      // per worker: demanded full replicas in hello
-	vers     []int       // per worker: protocol version from hello
-	cmds     []*exec.Cmd // spawned locally; empty for Listen pools
-	dir      string      // socket tempdir of a SpawnLocal pool
-	full     bool        // coordinator-side full-replica fallback
-	broken   error       // first infrastructure failure; poisons the pool
+	wantFull []bool             // per worker: demanded full replicas in hello
+	vers     []int              // per worker: protocol version from hello
+	cmds     []*exec.Cmd        // every process ever spawned (reaped at Close); empty for Listen pools
+	procs    []*exec.Cmd        // per worker: the process behind the connection (nil entries for external workers)
+	deadCmds map[*exec.Cmd]bool // processes retired mid-session; their exit status is not an error
+	dir      string             // socket tempdir of a SpawnLocal pool
+	ln       net.Listener       // retained SpawnLocal listener, for respawning replacements
+	self     string             // executable respawned as a replacement worker
+	sock     string             // endpoint replacement workers dial
+	full     bool               // coordinator-side full-replica fallback
+	broken   error              // first infrastructure failure; poisons the pool
 	closed   bool
 	logw     *logWriter
 	stats    SessionStats
+
+	// Cumulative failover accounting across the pool's lifetime (the
+	// per-session view lives in SessionStats).
+	restartsTotal      int64
+	redistributedTotal int64
+
+	// levelHook, when set, is invoked at the start of each level's
+	// merge — the fault-injection point the chaos tests use to kill
+	// workers at deterministic-but-arbitrary session positions.
+	hookMu    sync.Mutex
+	levelHook func(level int)
 }
 
 // SessionStats describes the last completed exploration session —
@@ -52,6 +68,15 @@ type SessionStats struct {
 	CandNew    int64
 	CoordFires int64
 	Chunks     int64
+	// Failover accounting (protocol 4). Restarts counts recovery rounds
+	// the session needed, Redistributed the shards moved from dead
+	// workers onto survivors when no replacement could be spawned, and
+	// Degraded reports that the session ultimately failed — recovery
+	// exhausted — and the caller should fall back to in-process
+	// exploration.
+	Restarts      int
+	Redistributed int
+	Degraded      bool
 	// Workers holds each worker's end-of-session replica accounting,
 	// in worker-index order.
 	Workers []WorkerMem
@@ -90,28 +115,50 @@ func SpawnLocal(n int) (*Pool, error) {
 		os.RemoveAll(dir)
 		return nil, err
 	}
-	defer ln.Close()
-	p := &Pool{dir: dir, logw: newLogWriter("coord")}
+	// The listener outlives the spawn: it is how the pool accepts
+	// replacement workers when one dies mid-session. Close releases it.
+	p := &Pool{dir: dir, ln: ln, self: self, sock: "unix:" + sock, logw: newLogWriter("coord")}
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(self)
-		cmd.Env = append(os.Environ(),
-			EnvWorker+"=1",
-			EnvEndpoint+"=unix:"+sock,
-		)
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
+		if _, err := p.spawnProc(); err != nil {
 			p.Close()
 			return nil, fmt.Errorf("dist: spawn worker %d: %w", i, err)
 		}
-		p.cmds = append(p.cmds, cmd)
 	}
-	if err := p.accept(ln, n, spawnHandshakeTimeout); err != nil {
+	pids, err := p.accept(ln, n, spawnHandshakeTimeout)
+	if err != nil {
 		p.Close()
 		return nil, err
 	}
+	// Map each accepted connection to the process behind it (the hello
+	// carries the pid): worker-kill fault injection and respawn recovery
+	// need to know which process backs which worker index.
+	byPid := make(map[int]*exec.Cmd, len(p.cmds))
+	for _, cmd := range p.cmds {
+		byPid[cmd.Process.Pid] = cmd
+	}
+	p.procs = make([]*exec.Cmd, n)
+	for i, pid := range pids {
+		p.procs[i] = byPid[pid]
+	}
 	p.logw.printf("spawned %d local workers over %s", n, sock)
 	return p, nil
+}
+
+// spawnProc starts one worker process dialing the pool's socket and
+// adds it to the reap list.
+func (p *Pool) spawnProc() (*exec.Cmd, error) {
+	cmd := exec.Command(p.self)
+	cmd.Env = append(os.Environ(),
+		EnvWorker+"=1",
+		EnvEndpoint+"="+p.sock,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p.cmds = append(p.cmds, cmd)
+	return cmd, nil
 }
 
 // Listen awaits n externally started workers (cmd/qssd -connect) at the
@@ -132,7 +179,7 @@ func Listen(endpoint string, n int) (*Pool, error) {
 	}
 	defer ln.Close()
 	p := &Pool{logw: newLogWriter("coord")}
-	if err := p.accept(ln, n, listenHandshakeTimeout); err != nil {
+	if _, err := p.accept(ln, n, listenHandshakeTimeout); err != nil {
 		p.Close()
 		return nil, err
 	}
@@ -140,45 +187,55 @@ func Listen(endpoint string, n int) (*Pool, error) {
 	return p, nil
 }
 
-// accept gathers n hello-ing workers from the listener. The deadline
-// applies per worker (reset before each Accept), so a slowly assembled
-// external pool is not cut off by the earlier arrivals' wait.
-func (p *Pool) accept(ln net.Listener, n int, timeout time.Duration) error {
+// acceptOne accepts a single worker from the listener and runs the
+// hello handshake under the given deadline.
+func acceptOne(ln net.Listener, timeout time.Duration) (c *conn, ver int, flags uint64, pid int, err error) {
 	type deadliner interface{ SetDeadline(time.Time) error }
-	d, hasDeadline := ln.(deadliner)
+	if d, ok := ln.(deadliner); ok {
+		if err := d.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("dist: arm accept deadline: %w", err)
+		}
+	}
+	nc, err := ln.Accept()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	c = newConn(nc)
+	if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+		nc.Close()
+		return nil, 0, 0, 0, fmt.Errorf("dist: arm handshake deadline: %w", err)
+	}
+	payload, err := c.expect(msgHello)
+	if err == nil {
+		ver, flags, pid, err = checkHello(payload)
+	}
+	if err == nil {
+		err = nc.SetDeadline(time.Time{})
+	}
+	if err != nil {
+		nc.Close()
+		return nil, 0, 0, 0, fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	return c, ver, flags, pid, nil
+}
+
+// accept gathers n hello-ing workers from the listener and returns
+// their self-reported pids (zero for pre-version-4 workers). The
+// deadline applies per worker (reset before each Accept), so a slowly
+// assembled external pool is not cut off by the earlier arrivals' wait.
+func (p *Pool) accept(ln net.Listener, n int, timeout time.Duration) ([]int, error) {
+	var pids []int
 	for len(p.workers) < n {
-		if hasDeadline {
-			if err := d.SetDeadline(time.Now().Add(timeout)); err != nil {
-				return fmt.Errorf("dist: arm accept deadline: %w", err)
-			}
-		}
-		nc, err := ln.Accept()
+		c, ver, flags, pid, err := acceptOne(ln, timeout)
 		if err != nil {
-			return fmt.Errorf("dist: waiting for worker %d/%d: %w", len(p.workers)+1, n, err)
-		}
-		c := newConn(nc)
-		if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
-			nc.Close()
-			return fmt.Errorf("dist: arm handshake deadline: %w", err)
-		}
-		payload, err := c.expect(msgHello)
-		var ver int
-		var flags uint64
-		if err == nil {
-			ver, flags, err = checkHello(payload)
-		}
-		if err == nil {
-			err = nc.SetDeadline(time.Time{})
-		}
-		if err != nil {
-			nc.Close()
-			return fmt.Errorf("dist: worker handshake: %w", err)
+			return nil, fmt.Errorf("dist: waiting for worker %d/%d: %w", len(p.workers)+1, n, err)
 		}
 		p.workers = append(p.workers, c)
 		p.wantFull = append(p.wantFull, flags&helloFullReplicas != 0)
 		p.vers = append(p.vers, ver)
+		pids = append(pids, pid)
 	}
-	return nil
+	return pids, nil
 }
 
 // NumWorkers returns the pool size.
@@ -249,6 +306,9 @@ func (p *Pool) Close() error {
 		return nil
 	}
 	p.closed = true
+	if p.ln != nil {
+		p.ln.Close()
+	}
 	for _, c := range p.workers {
 		c.close()
 	}
@@ -285,7 +345,7 @@ func (p *Pool) reapSpawned() error {
 		case r := <-done:
 			n++
 			reaped[r.i] = true
-			if r.err != nil && !killed[r.i] && firstErr == nil {
+			if r.err != nil && !killed[r.i] && !p.deadCmds[p.cmds[r.i]] && firstErr == nil {
 				firstErr = fmt.Errorf("dist: worker %d exited: %w", p.cmds[r.i].Process.Pid, r.err)
 			}
 		case <-deadline:
@@ -535,298 +595,6 @@ func (p *Pool) runSessionV2(n *petri.Net, store *petri.MarkingStore, spec petri.
 	}
 }
 
-// runSessionV3 is the pipelined session. Per-connection reader
-// goroutines queue frames on bounded channels, so the merge consumes
-// worker W's candidate chunks the moment they arrive instead of
-// barriering on every worker's complete level. New-state records stream
-// to their owners mid-merge in recordFlush batches — workers expand
-// their slice of level L+1 while the coordinator is still merging the
-// tail of L — and each level's id range is committed (msgLevel) right
-// before its merge begins, which is what lets workers pin
-// classification at the level start (see expandStateV3) and keeps the
-// wire bytes deterministic. candNew candidates carry the successor's
-// hash: the coordinator classifies by hash probe and fires only the
-// genuinely new states it must materialize.
-//
-// Deadlock freedom: a worker holds at most chunkWindow unacked chunks
-// and keeps reading while parked; each reader channel has room for the
-// full window plus a terminal frame, so the reader never blocks, worker
-// writes always drain, and therefore coordinator writes (records,
-// commits, acks) always drain too.
-func (p *Pool) runSessionV3(n *petri.Net, store *petri.MarkingStore, spec petri.ExpandSpec, hooks petri.MergeHooks) (bool, error) {
-	W := len(p.workers)
-	S := petri.NumFrontierShards(W)
-	trim := p.trimmed()
-	roots := make([]petri.Marking, store.Len())
-	for i := range roots {
-		roots[i] = store.At(petri.MarkID(i))
-	}
-	start0 := startBytes(p.workers)
-	for i, c := range p.workers {
-		init := &initMsg{proto: 3, index: i, workers: W, shards: S, trim: trim, net: n, spec: spec, roots: roots}
-		if err := c.send(msgInit, appendInit(nil, init, p.vers[i])); err != nil {
-			return false, fmt.Errorf("dist: init worker %d: %w", i, err)
-		}
-	}
-	p.stats = SessionStats{Trimmed: trim, Proto: 3}
-	owner := func(id petri.MarkID) int {
-		return petri.ShardOwner(petri.ShardOfHash(store.HashAt(id), S), S, W)
-	}
-	links := make([]*workerLink, W)
-	for i, c := range p.workers {
-		links[i] = startLink(c)
-	}
-	streams := make([]chunkStream, W)
-	for i := range streams {
-		streams[i].link = links[i]
-	}
-	// fail poisons the session: close every connection so workers and
-	// readers unwind, then drain the reader channels so no goroutine
-	// outlives the session.
-	fail := func(err error) (bool, error) {
-		for _, c := range p.workers {
-			c.close()
-		}
-		for _, l := range links {
-			for range l.ch {
-			}
-		}
-		return false, err
-	}
-	var (
-		deltas  []petri.Delta      // full-replica mode: broadcast batches
-		pending [][]petri.VecDelta // trimmed mode: per-worker batches
-		vcaches []*vecCache        // trimmed mode: per-worker cache models
-		scratch petri.Marking
-		payload = make([]byte, 0, 1<<12)
-	)
-	if trim {
-		pending = make([][]petri.VecDelta, W)
-		vcaches = make([]*vecCache, W)
-		for i := range vcaches {
-			vcaches[i] = newVecCache()
-		}
-	}
-	// flushRecs ships worker i's pending records. Boundary-parent vector
-	// attachment happens here, at flush time in record order — the same
-	// sequence the worker applies them in, keeping the two cache models
-	// in lockstep (see vcache.go).
-	flushRecs := func(i int) error {
-		recs := pending[i]
-		if len(recs) == 0 {
-			return nil
-		}
-		for k := range recs {
-			if owner(recs[k].Parent) == i {
-				continue
-			}
-			if !vcaches[i].hit(recs[k].Parent) {
-				recs[k].ParentVec = store.At(recs[k].Parent)
-			}
-		}
-		payload = petri.AppendVecDeltas(payload[:0], recs)
-		if err := p.workers[i].send(msgRecords, payload); err != nil {
-			return fmt.Errorf("dist: records to worker %d: %w", i, err)
-		}
-		pending[i] = recs[:0]
-		return nil
-	}
-	flushDeltas := func() error {
-		if len(deltas) == 0 {
-			return nil
-		}
-		payload = petri.AppendDeltas(payload[:0], deltas)
-		for i, c := range p.workers {
-			if err := c.send(msgRecords, payload); err != nil {
-				return fmt.Errorf("dist: records to worker %d: %w", i, err)
-			}
-		}
-		deltas = deltas[:0]
-		return nil
-	}
-	finish := func(completed bool) (bool, error) {
-		for i, c := range p.workers {
-			if err := c.send(msgDone, nil); err != nil {
-				return fail(fmt.Errorf("dist: finish worker %d: %w", i, err))
-			}
-		}
-		p.stats.Workers = make([]WorkerMem, W)
-		for i := range streams {
-			if completed && (len(streams[i].buf) != 0 || streams[i].cands != 0) {
-				return fail(fmt.Errorf("dist: worker %d stream not fully consumed (%d bytes, %d candidates left)", i, len(streams[i].buf), streams[i].cands))
-			}
-			p.stats.Chunks += int64(streams[i].chunks)
-			// Drain to the stats frame; chunks past the merge's stopping
-			// point are legitimate only on an aborted session.
-			for {
-				f, ok := <-links[i].ch
-				if !ok {
-					return fail(fmt.Errorf("dist: worker %d reader exited before stats", i))
-				}
-				if f.err != nil {
-					return fail(fmt.Errorf("dist: stats from worker %d: %w", i, f.err))
-				}
-				if f.typ == msgChunk {
-					if completed {
-						return fail(fmt.Errorf("dist: worker %d streamed a chunk past the last level", i))
-					}
-					continue
-				}
-				if f.typ == msgError {
-					return fail(fmt.Errorf("dist: worker %d error: %s", i, f.payload))
-				}
-				if f.typ != msgStats {
-					return fail(fmt.Errorf("dist: worker %d: unexpected message type %d before stats", i, f.typ))
-				}
-				var err error
-				if p.stats.Workers[i], err = decodeStats(f.payload); err != nil {
-					return fail(fmt.Errorf("dist: stats from worker %d: %w", i, err))
-				}
-				break
-			}
-		}
-		p.stats.States = store.Len()
-		p.stats.BytesSent, p.stats.BytesRecv = sentRecvSince(p.workers, start0)
-		p.logw.printf("session %s: %d levels, %d states, %d candNew (%d fires, %d chunks), %dB sent, %dB received (proto 3, trimmed=%v, completed=%v)",
-			n.Name, p.stats.Levels, p.stats.States, p.stats.CandNew, p.stats.CoordFires, p.stats.Chunks, p.stats.BytesSent, p.stats.BytesRecv, trim, completed)
-		return completed, nil
-	}
-	for levelStart := 0; ; {
-		levelEnd := store.Len()
-		if levelStart == levelEnd {
-			return finish(true)
-		}
-		if levelStart > 0 {
-			// The records of [levelStart, levelEnd) have been streaming
-			// since the previous merge discovered them; flush the tails
-			// and commit the range so workers can pin and expand the
-			// whole level.
-			if trim {
-				for i := range p.workers {
-					if err := flushRecs(i); err != nil {
-						return fail(err)
-					}
-				}
-			} else {
-				if err := flushDeltas(); err != nil {
-					return fail(err)
-				}
-			}
-			payload = appendLevel(payload[:0], levelStart, levelEnd)
-			for i, c := range p.workers {
-				if err := c.send(msgLevel, payload); err != nil {
-					return fail(fmt.Errorf("dist: level commit to worker %d: %w", i, err))
-				}
-			}
-		}
-		// Sequential first-discovery merge, exactly phase C of
-		// petri.RunFrontier — consuming each owner's chunk stream as the
-		// bytes arrive.
-		for id := levelStart; id < levelEnd; id++ {
-			ow := owner(petri.MarkID(id))
-			cands, err := streams[ow].nextState(id)
-			if err != nil {
-				return fail(fmt.Errorf("dist: worker %d stream: %w", ow, err))
-			}
-			if hooks.BeginState != nil {
-				hooks.BeginState(petri.MarkID(id))
-			}
-			for k := 0; k < cands; k++ {
-				tag, trans, known, h, err := streams[ow].nextCand()
-				if err != nil {
-					return fail(fmt.Errorf("dist: worker %d stream: %w", ow, err))
-				}
-				if trans < 0 || trans >= len(n.Transitions) {
-					return fail(fmt.Errorf("dist: worker %d: candidate transition %d out of range", ow, trans))
-				}
-				switch tag {
-				case candVeto:
-					if !hooks.Reject(petri.MarkID(id), int32(trans), false) {
-						return finish(false)
-					}
-				case candKnown:
-					// The worker pinned classification at the level start:
-					// anything at or beyond it travels as candNew.
-					if int(known) >= levelStart {
-						return fail(fmt.Errorf("dist: worker %d: known state %d at or beyond level start %d", ow, known, levelStart))
-					}
-					hooks.Edge(petri.MarkID(id), int32(trans), known, false)
-				case candNew:
-					p.stats.CandNew++
-					var g petri.MarkID
-					var found, fired bool
-					if !store.HashAliased() {
-						g, found = store.LookupHash(h)
-					} else {
-						// Two interned markings share a hash: the bare
-						// probe is ambiguous, fall back to firing for the
-						// vector-exact lookup.
-						t := n.Transitions[trans]
-						if m := store.At(petri.MarkID(id)); m.Enabled(t) {
-							scratch = m.FireInto(scratch, t)
-						} else {
-							return fail(fmt.Errorf("dist: worker %d: candidate fires disabled %s at state %d", ow, t.Name, id))
-						}
-						p.stats.CoordFires++
-						fired = true
-						g, found = store.LookupHashed(scratch, h)
-					}
-					if found {
-						hooks.Edge(petri.MarkID(id), int32(trans), g, false)
-						continue
-					}
-					// Genuinely new: fire once to materialize the vector.
-					if !fired {
-						t := n.Transitions[trans]
-						m := store.At(petri.MarkID(id))
-						if !m.Enabled(t) {
-							return fail(fmt.Errorf("dist: worker %d: candidate fires disabled %s at state %d", ow, t.Name, id))
-						}
-						scratch = m.FireInto(scratch, t)
-						p.stats.CoordFires++
-					}
-					if spec.Veto(scratch) {
-						return fail(fmt.Errorf("dist: worker %d: new candidate of state %d exceeds the place caps — worker/coordinator spec mismatch", ow, id))
-					}
-					if hv := petri.HashMarking(scratch); hv != h {
-						return fail(fmt.Errorf("dist: worker %d: candidate hash %#x, coordinator computes %#x — replica drift", ow, h, hv))
-					}
-					if hooks.Admit != nil && !hooks.Admit() {
-						if !hooks.Reject(petri.MarkID(id), int32(trans), true) {
-							return finish(false)
-						}
-						continue
-					}
-					g, _ = store.InternHashed(scratch, h)
-					if trim {
-						cw := petri.ShardOwner(petri.ShardOfHash(h, S), S, W)
-						pending[cw] = append(pending[cw], petri.VecDelta{
-							Child: g, Parent: petri.MarkID(id), Trans: int32(trans),
-						})
-						if len(pending[cw]) >= recordFlush {
-							if err := flushRecs(cw); err != nil {
-								return fail(err)
-							}
-						}
-					} else {
-						deltas = append(deltas, petri.Delta{Parent: petri.MarkID(id), Trans: int32(trans)})
-						if len(deltas) >= recordFlush {
-							if err := flushDeltas(); err != nil {
-								return fail(err)
-							}
-						}
-					}
-					hooks.Edge(petri.MarkID(id), int32(trans), g, true)
-				default:
-					return fail(fmt.Errorf("dist: worker %d: unknown candidate tag %d", ow, tag))
-				}
-			}
-		}
-		p.stats.Levels++
-		levelStart = levelEnd
-	}
-}
-
 // frame is one message forwarded by a per-connection reader goroutine.
 type frame struct {
 	typ     byte
@@ -835,9 +603,10 @@ type frame struct {
 }
 
 // workerLink is a connection with its reader goroutine's frame channel.
-// The channel holds a full credit window plus a terminal frame — the
-// most a conforming worker ever has in flight — so the reader never
-// blocks on a slow merge and worker-side sends always drain.
+// The channel holds a full credit window plus a terminal frame and a
+// little slack for protocol-4 pong replies — the most a conforming
+// worker ever has in flight — so the reader never blocks on a slow
+// merge and worker-side sends always drain.
 type workerLink struct {
 	c  *conn
 	ch chan frame
@@ -847,7 +616,7 @@ type workerLink struct {
 // closing the channel — after forwarding a terminal frame: the
 // session's stats reply, a worker error, or a transport failure.
 func startLink(c *conn) *workerLink {
-	l := &workerLink{c: c, ch: make(chan frame, chunkWindow+2)}
+	l := &workerLink{c: c, ch: make(chan frame, chunkWindow+4)}
 	go func() {
 		defer close(l.ch)
 		for {
@@ -872,18 +641,16 @@ func startLink(c *conn) *workerLink {
 // the worker keep expanding ahead of the merge.
 type chunkStream struct {
 	link   *workerLink
+	await  func() (frame, error) // session-supplied receive (heartbeats at protocol 4)
 	buf    []byte
 	cands  int // candidates left within the current state group
 	chunks int
 }
 
 func (s *chunkStream) refill() error {
-	f, ok := <-s.link.ch
-	if !ok {
-		return fmt.Errorf("stream ended mid-session")
-	}
-	if f.err != nil {
-		return f.err
+	f, err := s.await()
+	if err != nil {
+		return err
 	}
 	switch f.typ {
 	case msgChunk:
@@ -893,7 +660,7 @@ func (s *chunkStream) refill() error {
 		ack[0] = 1
 		return s.link.c.send(msgAck, ack[:])
 	case msgError:
-		return fmt.Errorf("worker error: %s", f.payload)
+		return &aliveError{msg: string(f.payload)}
 	default:
 		return fmt.Errorf("unexpected message type %d mid-session", f.typ)
 	}
@@ -957,8 +724,8 @@ func (s *chunkStream) nextCand() (tag int, trans int, known petri.MarkID, h uint
 
 func startBytes(ws []*conn) (totals [2]int64) {
 	for _, c := range ws {
-		totals[0] += c.sent
-		totals[1] += c.received
+		totals[0] += c.sent.Load()
+		totals[1] += c.received.Load()
 	}
 	return totals
 }

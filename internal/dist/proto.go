@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/petri"
 )
@@ -34,7 +36,15 @@ const (
 	// without re-firing. Workers hello with the highest version they
 	// speak; the coordinator picks the pool minimum per session and
 	// announces it in a leading init field (version-3 init layout only).
-	protoVersion = 3
+	//
+	// Version 4: failover. Liveness is probed with msgPing/msgPong and
+	// read/write deadlines, and a session survives worker death: the
+	// coordinator re-inits the pool with empty roots, rebuilds each
+	// replica by a msgRestore bulk load (the states at or past the
+	// failed level, streamed from the authoritative store), and resumes
+	// the merge at the last committed level. The session wire layout is
+	// otherwise identical to version 3.
+	protoVersion = 4
 	// protoVersionMin is the oldest worker hello still accepted.
 	// Version 2: per-level barrier (msgExpand/msgResult round trips),
 	// hash-less candNew. A mixed pool downgrades every session to 2.
@@ -60,6 +70,11 @@ const (
 	msgLevel   byte = 9  // coordinator -> worker, commits the recorded level's [start, end) id range
 	msgAck     byte = 10 // coordinator -> worker, returns chunk credits consumed by the merge
 	msgChunk   byte = 11 // worker -> coordinator, a slice of the candidate stream
+
+	// Protocol 4: failover.
+	msgPing    byte = 12 // coordinator -> worker, liveness probe while awaiting a frame
+	msgPong    byte = 13 // worker -> coordinator, reply to ping
+	msgRestore byte = 14 // coordinator -> worker, bulk replica rebuild after a re-init
 )
 
 // Protocol-3 pipelining parameters. Both sides hard-code them: the
@@ -83,6 +98,32 @@ const (
 	recordFlush = 256
 )
 
+// Protocol-4 liveness parameters. Vars, not consts, so the failover
+// tests can shrink them to milliseconds; production sessions run the
+// defaults. Liveness means "the peer still answers", not "the peer
+// makes progress": any received frame (a pong included) resets the
+// coordinator's patience, so a worker legitimately grinding through a
+// huge level is never declared dead as long as its serve loop drains
+// pings between pumps.
+var (
+	// heartbeatInterval is how often the coordinator pings the one
+	// worker whose frame the merge is currently awaiting.
+	heartbeatInterval = 1 * time.Second
+	// heartbeatTimeout declares the awaited worker dead when no frame
+	// at all (chunk, pong, stats, error) arrives within it.
+	heartbeatTimeout = 20 * time.Second
+	// sendTimeout is the per-message write deadline on protocol-4
+	// connections: a peer that stopped reading (socket buffer full)
+	// fails the send instead of blocking the session forever.
+	sendTimeout = 60 * time.Second
+	// workerIdleTimeout is the worker-side read deadline within a
+	// protocol-4 session — generous, because a coordinator merging a
+	// huge level may legitimately go quiet toward a parked worker. It
+	// is cleared at session end so an idle qssd worker survives
+	// arbitrarily long gaps between sessions.
+	workerIdleTimeout = 10 * time.Minute
+)
+
 // Hello capability flags.
 const (
 	// helloFullReplicas: the worker insists on full-replica sessions
@@ -98,21 +139,72 @@ const (
 	candNew   = 2 // successor unknown to the replica; coordinator resolves
 )
 
+// deadliner is the subset of net.Conn the protocol-4 liveness layer
+// needs; in-memory test transports without deadline support simply run
+// without deadlines.
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
 // conn wraps a net.Conn with buffered framing and traffic accounting.
+// readTimeout/writeTimeout, when non-zero, arm a per-operation deadline
+// before every recv/send (protocol 4 only; a zero value leaves the
+// connection deadline-free, which is the protocol <= 3 behavior).
 type conn struct {
-	rw       io.ReadWriteCloser
-	br       *bufio.Reader
-	bw       *bufio.Writer
-	sent     int64
-	received int64
+	rw           io.ReadWriteCloser
+	br           *bufio.Reader
+	bw           *bufio.Writer
+	d            deadliner // nil when rw has no deadline support
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	// Byte counters are atomic: the session goroutine reads them for
+	// per-attempt accounting while a (possibly dying) link reader
+	// goroutine is still receiving on the same conn.
+	sent     atomic.Int64
+	received atomic.Int64
 	scratch  []byte
 }
 
 func newConn(rw io.ReadWriteCloser) *conn {
-	return &conn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16), bw: bufio.NewWriterSize(rw, 1<<16)}
+	c := &conn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16), bw: bufio.NewWriterSize(rw, 1<<16)}
+	c.d, _ = rw.(deadliner)
+	return c
 }
 
 func (c *conn) close() error { return c.rw.Close() }
+
+// armRead arms (or, with timeout 0, clears) the read deadline ahead of
+// a blocking read.
+func (c *conn) armRead() {
+	if c.d != nil && c.readTimeout != 0 {
+		c.d.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+}
+
+// clearRead drops any armed read deadline — called when a session ends
+// so the next (possibly distant) session start is not cut off.
+func (c *conn) clearRead() {
+	c.readTimeout = 0
+	if c.d != nil {
+		c.d.SetReadDeadline(time.Time{})
+	}
+}
+
+func (c *conn) armWrite() {
+	if c.d != nil && c.writeTimeout != 0 {
+		c.d.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+}
+
+// clearWrite drops any armed write deadline at session end, so a stale
+// absolute deadline cannot fail a later deadline-free session's writes.
+func (c *conn) clearWrite() {
+	c.writeTimeout = 0
+	if c.d != nil {
+		c.d.SetWriteDeadline(time.Time{})
+	}
+}
 
 // send frames and flushes one message.
 func (c *conn) send(typ byte, payload []byte) error {
@@ -122,13 +214,14 @@ func (c *conn) send(typ byte, payload []byte) error {
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = typ
+	c.armWrite()
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	if _, err := c.bw.Write(payload); err != nil {
 		return err
 	}
-	c.sent += int64(len(hdr)) + int64(len(payload))
+	c.sent.Add(int64(len(hdr)) + int64(len(payload)))
 	return c.bw.Flush()
 }
 
@@ -136,6 +229,7 @@ func (c *conn) send(typ byte, payload []byte) error {
 // returned payload is valid until the next recv.
 func (c *conn) recv() (byte, []byte, error) {
 	var hdr [5]byte
+	c.armRead()
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -150,7 +244,7 @@ func (c *conn) recv() (byte, []byte, error) {
 	if _, err := io.ReadFull(c.br, c.scratch); err != nil {
 		return 0, nil, err
 	}
-	c.received += int64(len(hdr)) + int64(n)
+	c.received.Add(int64(len(hdr)) + int64(n))
 	return hdr[4], c.scratch, nil
 }
 
@@ -159,6 +253,7 @@ func (c *conn) recv() (byte, []byte, error) {
 // outlive the next read.
 func (c *conn) recvAlloc() (byte, []byte, error) {
 	var hdr [5]byte
+	c.armRead()
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -170,7 +265,7 @@ func (c *conn) recvAlloc() (byte, []byte, error) {
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return 0, nil, err
 	}
-	c.received += int64(len(hdr)) + int64(n)
+	c.received.Add(int64(len(hdr)) + int64(n))
 	return hdr[4], payload, nil
 }
 
@@ -190,26 +285,43 @@ func (c *conn) expect(typ byte) ([]byte, error) {
 	return payload, nil
 }
 
-func (c *conn) sendHello(version int, flags uint64) error {
+// sendHello greets the coordinator. Version-4 hellos append the
+// worker's pid, which lets a SpawnLocal pool map each accepted
+// connection to the process behind it — the bookkeeping worker-kill
+// fault injection and respawn recovery depend on.
+func (c *conn) sendHello(version int, flags uint64, pid int) error {
 	payload := binary.AppendUvarint([]byte(protoMagic), uint64(version))
 	payload = binary.AppendUvarint(payload, flags)
+	if version >= 4 {
+		payload = binary.AppendUvarint(payload, uint64(pid))
+	}
 	return c.send(msgHello, payload)
 }
 
-func checkHello(payload []byte) (version int, flags uint64, err error) {
+func checkHello(payload []byte) (version int, flags uint64, pid int, err error) {
 	if len(payload) < len(protoMagic) || string(payload[:len(protoMagic)]) != protoMagic {
-		return 0, 0, fmt.Errorf("dist: bad hello magic")
+		return 0, 0, 0, fmt.Errorf("dist: bad hello magic")
 	}
 	buf := payload[len(protoMagic):]
 	v, n := binary.Uvarint(buf)
 	if n <= 0 || v < protoVersionMin || v > protoVersion {
-		return 0, 0, fmt.Errorf("dist: protocol version %d (supported %d..%d)", v, protoVersionMin, protoVersion)
+		return 0, 0, 0, fmt.Errorf("dist: protocol version %d (supported %d..%d)", v, protoVersionMin, protoVersion)
 	}
-	flags, n = binary.Uvarint(buf[n:])
-	if n <= 0 {
-		return 0, 0, fmt.Errorf("dist: hello flags missing")
+	off := n
+	var m int
+	flags, m = binary.Uvarint(buf[off:])
+	if m <= 0 {
+		return 0, 0, 0, fmt.Errorf("dist: hello flags missing")
 	}
-	return int(v), flags, nil
+	off += m
+	if v >= 4 {
+		p, m := binary.Uvarint(buf[off:])
+		if m <= 0 {
+			return 0, 0, 0, fmt.Errorf("dist: hello pid missing")
+		}
+		pid = int(p)
+	}
+	return int(v), flags, pid, nil
 }
 
 // initMsg is the decoded session-start payload. proto is the wire
@@ -397,6 +509,82 @@ func decodeLevel(buf []byte) (start, end int, err error) {
 		return 0, 0, fmt.Errorf("dist: level end: %w", err)
 	}
 	return int(s), int(e), nil
+}
+
+// restoreMsg is the protocol-4 replica rebuild sent right after a
+// recovery re-init (whose roots are empty): resumeFrom is the start of
+// the level the merge will replay, bounds are the committed level
+// starts plus the uncommitted level's start (the worker's pin table),
+// and states are (global id, vector) pairs in ascending id order — a
+// trimmed worker receives its owned states at or past resumeFrom, a
+// full-replica worker the entire store.
+type restoreMsg struct {
+	resumeFrom int
+	bounds     []int
+	gids       []petri.MarkID
+	vecs       []petri.Marking
+}
+
+func appendRestoreHeader(dst []byte, resumeFrom int, bounds []int, states int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(resumeFrom))
+	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
+	for _, b := range bounds {
+		dst = binary.AppendUvarint(dst, uint64(b))
+	}
+	return binary.AppendUvarint(dst, uint64(states))
+}
+
+func appendRestoreState(dst []byte, gid petri.MarkID, vec petri.Marking) []byte {
+	dst = binary.AppendUvarint(dst, uint64(gid))
+	return petri.AppendMarking(dst, vec)
+}
+
+func decodeRestore(buf []byte) (*restoreMsg, error) {
+	m := &restoreMsg{}
+	var err error
+	u := func() uint64 {
+		var v uint64
+		if err == nil {
+			v, buf, err = decodeUvarint(buf)
+		}
+		return v
+	}
+	m.resumeFrom = int(u())
+	nb := u()
+	if err == nil && nb > uint64(len(buf)) {
+		err = fmt.Errorf("bound count %d exceeds payload", nb)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: restore header: %w", err)
+	}
+	m.bounds = make([]int, nb)
+	for i := range m.bounds {
+		m.bounds[i] = int(u())
+	}
+	ns := u()
+	if err == nil && ns > uint64(len(buf)) {
+		err = fmt.Errorf("state count %d exceeds payload", ns)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: restore bounds: %w", err)
+	}
+	for i := uint64(0); i < ns; i++ {
+		g := u()
+		if err != nil {
+			return nil, fmt.Errorf("dist: restore state %d: %w", i, err)
+		}
+		var vec petri.Marking
+		vec, buf, err = petri.DecodeMarking(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dist: restore state %d: %w", i, err)
+		}
+		m.gids = append(m.gids, petri.MarkID(g))
+		m.vecs = append(m.vecs, vec)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("dist: restore payload has %d trailing bytes", len(buf))
+	}
+	return m, nil
 }
 
 // WorkerMem is one worker's end-of-session replica accounting, shipped

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sort"
 
@@ -40,6 +41,10 @@ type WorkerOptions struct {
 	// full-replica mode. For memory-rich workers that prefer local
 	// successor classification over coordinator-side resolution.
 	FullReplicas bool
+	// DialAttempts caps the initial-dial retries of Serve (cmd/qssd
+	// -dial-attempts): 0 retries until the dial budget expires, n > 0
+	// gives up after n attempts even with budget left.
+	DialAttempts int
 }
 
 // replica is one session's worker-side state.
@@ -236,6 +241,60 @@ func (r *replica) applyRec(rec petri.VecDelta) error {
 		r.tracker.Update(r.bits[base:base+r.stride],
 			r.bits[int(parentLocal)*r.stride:(int(parentLocal)+1)*r.stride], int(rec.Trans), r.store.At(id))
 	} else {
+		r.tracker.Init(r.bits[base:base+r.stride], r.store.At(id))
+	}
+	return nil
+}
+
+// applyRestore rebuilds a fresh replica from a protocol-4 bulk load
+// (see restoreMsg): every shipped state is interned in ascending global
+// id order with its enabled set recomputed from scratch (tracker.Init
+// and the incremental Update agree bit-for-bit). A trimmed replica
+// receives only owned states at or past the resume point — the states
+// it may still have to expand or route records through; everything
+// older was fully merged before the failure and can only come back as
+// a candNew the coordinator resolves by hash. A full replica receives
+// the dense store prefix.
+func (r *replica) applyRestore(m *restoreMsg) error {
+	if r.store.Len() != 0 || len(r.gids) != 0 {
+		return fmt.Errorf("dist: restore into a non-empty replica (%d states)", r.store.Len())
+	}
+	if len(m.bounds) < 2 || m.bounds[0] != m.resumeFrom {
+		return fmt.Errorf("dist: restore bounds %v do not start at resume point %d", m.bounds, m.resumeFrom)
+	}
+	for i := 1; i < len(m.bounds); i++ {
+		if m.bounds[i] < m.bounds[i-1] {
+			return fmt.Errorf("dist: restore bounds %v not ascending", m.bounds)
+		}
+	}
+	for i, vec := range m.vecs {
+		g := m.gids[i]
+		if len(vec) != len(r.net.Places) {
+			return fmt.Errorf("dist: restore state %d has %d places, net has %d", g, len(vec), len(r.net.Places))
+		}
+		h := petri.HashMarking(vec)
+		if r.trim {
+			if !r.ownsHash(h) {
+				return fmt.Errorf("dist: restore state %d routes outside this worker's shards", g)
+			}
+			if int(g) < m.resumeFrom {
+				return fmt.Errorf("dist: restore state %d below resume point %d", g, m.resumeFrom)
+			}
+			if n := len(r.gids); n > 0 && r.gids[n-1] >= g {
+				return fmt.Errorf("dist: restore state %d not ascending (last %d)", g, r.gids[n-1])
+			}
+		} else if int(g) != i {
+			return fmt.Errorf("dist: restore state %d at position %d — a full replica needs the dense prefix", g, i)
+		}
+		id, isNew := r.store.InternHashed(vec, h)
+		if !isNew {
+			return fmt.Errorf("dist: restore re-interns state %d as local %d", g, id)
+		}
+		if r.trim {
+			r.gids = append(r.gids, g)
+		}
+		base := len(r.bits)
+		r.bits = append(r.bits, make([]uint64, r.stride)...)
 		r.tracker.Init(r.bits[base:base+r.stride], r.store.At(id))
 	}
 	return nil
@@ -462,7 +521,7 @@ func serveConnVer(nc net.Conn, logw *logWriter, opt WorkerOptions, ver int) erro
 	if opt.FullReplicas {
 		flags |= helloFullReplicas
 	}
-	if err := c.sendHello(ver, flags); err != nil {
+	if err := c.sendHello(ver, flags, os.Getpid()); err != nil {
 		return err
 	}
 	// draining: a session failed and its msgError went out; skip frames
@@ -576,6 +635,15 @@ func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
 	if err != nil {
 		return err
 	}
+	if init.proto >= 4 {
+		// Liveness deadlines live for the session only: a coordinator
+		// that goes silent mid-session is dead (it would at least ping),
+		// but a qssd worker idling between sessions must keep waiting.
+		c.readTimeout = workerIdleTimeout
+		c.writeTimeout = sendTimeout
+		defer c.clearRead()
+		defer c.clearWrite()
+	}
 	mode := "full-replica"
 	if r.trim {
 		mode = "trimmed"
@@ -596,6 +664,8 @@ func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
 	cursor := petri.MarkID(0) // next local store id to expand
 	unacked := 0              // chunks in flight, bounded by chunkWindow
 	chunks := 0
+	virgin := true // no session traffic yet; a restore must come first
+
 	var buf []byte
 	var deltas []petri.Delta
 	var recs []petri.VecDelta
@@ -655,7 +725,40 @@ func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
 			logw.printf("session end: %d levels, %d states held, %d chunks, %dB store, %dB bits, %dB cache",
 				len(bounds)-1, mem.States, chunks, mem.StoreBytes, mem.BitsBytes, mem.CacheBytes)
 			return transportErr(c.send(msgStats, appendStats(nil, mem)))
+		case msgPing:
+			if err := c.send(msgPong, nil); err != nil {
+				return transportErr(err)
+			}
+		case msgRestore:
+			if init.proto < 4 {
+				return fmt.Errorf("dist: restore on a protocol-%d session", init.proto)
+			}
+			if !virgin {
+				return fmt.Errorf("dist: restore after session traffic")
+			}
+			virgin = false
+			m, err := decodeRestore(payload)
+			if err != nil {
+				return err
+			}
+			if err := r.applyRestore(m); err != nil {
+				return err
+			}
+			bounds = append(bounds[:0], m.bounds...)
+			pinIdx = 0
+			cursor = 0
+			if !r.trim {
+				// The dense prefix below the resume point was fully merged
+				// and expanded before the failure; only re-expand from the
+				// replayed level on.
+				cursor = petri.MarkID(m.resumeFrom)
+			}
+			logw.printf("restored %d states (resume at %d, %d bounds)", r.store.Len(), m.resumeFrom, len(m.bounds))
+			if err := pump(); err != nil {
+				return err
+			}
 		case msgRecords:
+			virgin = false
 			lo := bounds[len(bounds)-1]
 			if r.trim {
 				recs, _, err = petri.DecodeVecDeltas(recs[:0], payload)
@@ -688,6 +791,7 @@ func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
 				return err
 			}
 		case msgLevel:
+			virgin = false
 			start, end, err := decodeLevel(payload)
 			if err != nil {
 				return err

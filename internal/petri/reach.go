@@ -63,6 +63,13 @@ type ExploreOptions struct {
 	// incrementally with an EnabledTracker. Ablation/benchmark knob;
 	// results are identical either way.
 	DisableTracker bool
+	// DistFallback makes ExploreDist rerun the exploration in-process
+	// when the distributed runner fails (worker death with recovery
+	// exhausted). The result is byte-identical to the distributed one,
+	// so a failed pool degrades to local exploration instead of a lost
+	// request. Off by default: callers that want to observe the
+	// infrastructure failure (tests, pool health probes) see the error.
+	DistFallback bool
 }
 
 // Explore performs a breadth-first bounded exploration from the initial
@@ -95,14 +102,29 @@ func (n *Net) Explore(opt ExploreOptions) *ReachResult {
 // same sequential merge the in-process paths use, so the ReachResult —
 // numbering, edges, flags — is byte-identical to Explore's for every
 // worker-process count. The error reports an infrastructure failure
-// (worker death, protocol corruption), never an exploration outcome.
+// (worker death, protocol corruption), never an exploration outcome —
+// unless Options.DistFallback is set, in which case the exploration
+// reruns in-process (Workers-governed) and the error is swallowed: the
+// determinism contract guarantees the local result matches what the
+// pool would have produced.
 func (n *Net) ExploreDist(r FrontierRunner, opt ExploreOptions) (*ReachResult, error) {
 	if opt.MaxMarkings == 0 {
 		opt.MaxMarkings = 10000
 	}
 	e := newReachExplorer(n, opt)
 	if _, err := r.RunFrontier(n, e.res.Store, e.expandSpec(), e.mergeHooks()); err != nil {
-		return nil, err
+		if !opt.DistFallback {
+			return nil, err
+		}
+		// The failed session's hooks may have partially mutated the
+		// explorer; rebuild from scratch and run the whole exploration
+		// locally.
+		e = newReachExplorer(n, opt)
+		if opt.Workers > 1 {
+			e.exploreParallel()
+		} else {
+			e.exploreSerial()
+		}
 	}
 	return e.res, nil
 }

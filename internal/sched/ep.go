@@ -49,6 +49,13 @@ type Options struct {
 	// concurrent searches of core's source-level pool. Tree engines
 	// ignore it.
 	Dist petri.FrontierRunner
+	// DistFallback reruns a search in-process (ExploreWorkers-governed)
+	// when the Dist runner fails — worker death with recovery
+	// exhausted, protocol corruption. Determinism makes the fallback
+	// transparent: the schedule and generated code are byte-identical
+	// to what the pool would have produced. Off by default so tests and
+	// health probes observe the infrastructure error.
+	DistFallback bool
 	// Engine selects the search engine (default EngineGraph).
 	Engine Engine
 	// NoFallback disables the automatic exhaustive-tree retry after a

@@ -236,7 +236,19 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 	switch {
 	case opt.Dist != nil:
 		if err := ge.exploreDist(opt.Dist); err != nil {
-			return nil, fmt.Errorf("sched: source %s: distributed exploration: %w", st.Name, err)
+			if !opt.DistFallback {
+				return nil, fmt.Errorf("sched: source %s: distributed exploration: %w", st.Name, err)
+			}
+			// The failed session may have partially populated the
+			// engine; rebuild it and rerun the search in-process. The
+			// result is byte-identical to the distributed one.
+			ge = newGraphEngine(n, source, opt)
+			rootID = ge.internRoot(m0)
+			if opt.ExploreWorkers > 1 {
+				ge.exploreParallel(opt.ExploreWorkers)
+			} else {
+				ge.explore()
+			}
 		}
 	case opt.ExploreWorkers > 1:
 		ge.exploreParallel(opt.ExploreWorkers)

@@ -175,6 +175,8 @@ func (s *Server) recordWork(res *core.Result, opt *core.Options) {
 			s.metrics.setLabeledGauge(s.metrics.distWorkerMem, fmt.Sprintf("%d", i),
 				float64(wm.StoreBytes+wm.BitsBytes+wm.CacheBytes))
 		}
+		restarts, _ := opt.Dist.RecoveryStats()
+		s.metrics.setCounter(&s.metrics.distRestarts, float64(restarts))
 	}
 }
 

@@ -45,9 +45,18 @@ type metrics struct {
 	latency        *histogram // server-side synthesis seconds
 	statesExplored counter    // distinct markings interned across searches
 
+	// panics answered 500 by the recovery middleware
+	panics counter
+
 	// dist pool, when the server owns one
 	distWorkers   gauge
 	distWorkerMem *labeledGauge // per worker: replica bytes after the last session
+	// distRestarts mirrors the pool's cumulative respawn count
+	// (Pool.RecoveryStats) and keeps its last value after the pool is
+	// retired; distDegraded flips to 1 when an unrecoverable failure
+	// makes the server drop the pool and continue in-process.
+	distRestarts counter
+	distDegraded gauge
 }
 
 func newMetrics() *metrics {
@@ -93,8 +102,14 @@ func (m *metrics) render(sb *strings.Builder) {
 		"1 while the server admits work, 0 once drain has begun.", m.ready.v)
 	renderSimple(sb, "qss_states_explored_total", "counter",
 		"Distinct markings interned across all schedule searches.", m.statesExplored.v)
+	renderSimple(sb, "qss_panics_total", "counter",
+		"Requests that panicked and were answered 500 by the recovery middleware.", m.panics.v)
 	renderSimple(sb, "qss_dist_workers", "gauge",
 		"Connected dist worker processes (0 when the server runs in-process only).", m.distWorkers.v)
+	renderSimple(sb, "qss_dist_worker_restarts_total", "counter",
+		"Dist worker processes respawned after mid-session death, cumulative over the pool's life.", m.distRestarts.v)
+	renderSimple(sb, "qss_dist_pool_degraded", "gauge",
+		"1 once an unrecoverable pool failure made the server continue in-process.", m.distDegraded.v)
 	m.distWorkerMem.render(sb)
 	m.latency.render(sb)
 }
@@ -107,6 +122,17 @@ type gauge struct{ v float64 }
 func (m *metrics) addCounter(c *counter, d float64) {
 	m.mu.Lock()
 	c.v += d
+	m.mu.Unlock()
+}
+
+// setCounter pins a counter cell to an externally accumulated total
+// (the dist pool counts its own restarts; the cell just mirrors it,
+// and keeps the last value once the pool is gone).
+func (m *metrics) setCounter(c *counter, v float64) {
+	m.mu.Lock()
+	if v > c.v {
+		c.v = v
+	}
 	m.mu.Unlock()
 }
 

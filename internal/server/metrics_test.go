@@ -79,7 +79,10 @@ func TestMetricsTextFormat(t *testing.T) {
 		"qss_inflight 0",
 		"qss_ready 0",
 		"qss_states_explored_total 0",
+		"qss_panics_total 0",
 		"qss_dist_workers 0",
+		"qss_dist_worker_restarts_total 0",
+		"qss_dist_pool_degraded 0",
 		`qss_dist_worker_mem_bytes{worker="0"} 12345`,
 		"qss_synthesis_seconds_count 2",
 	} {

@@ -35,6 +35,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -152,8 +153,52 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the http.Handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the http.Handler serving all endpoints, wrapped in
+// the panic-recovery middleware: a panicking synthesis (or any other
+// handler bug) answers 500 and bumps qss_panics_total instead of
+// tearing down the connection — and, under http.Server's default
+// behavior, leaving nothing in the metrics about it.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+// recoverPanics is the outermost middleware. http.ErrAbortHandler is
+// re-raised (it is the sanctioned way to abort a response, not a bug).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.metrics.addCounter(&s.metrics.panics, 1)
+			s.cfg.Log.Printf("qss-server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records whether a handler already started the response,
+// so the panic middleware knows if a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
 
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool {
@@ -242,6 +287,9 @@ func (s *Server) checkPool(p *dist.Pool) {
 	s.mu.Unlock()
 	if mine {
 		s.cfg.Log.Printf("qss-server: dist pool poisoned (%v); continuing in-process", p.Err())
+		restarts, _ := p.RecoveryStats()
+		s.metrics.setCounter(&s.metrics.distRestarts, float64(restarts))
+		s.metrics.setGauge(&s.metrics.distDegraded, 1)
 		s.metrics.setGauge(&s.metrics.distWorkers, 0)
 		if err := p.Close(); err != nil {
 			s.cfg.Log.Printf("qss-server: dist pool close (poisoned): %v", err)

@@ -374,6 +374,33 @@ func TestRequestBudgets(t *testing.T) {
 	}
 }
 
+// TestPanicRecovery: a panicking synthesis is a bug, not an outage —
+// the middleware answers 500, counts it, and the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	core.ResetCache()
+	srv := New(Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.synthesize = func(ctx context.Context, req *synthesizeRequest, opt *core.Options) (*core.Result, bool, error) {
+		panic("synthesis exploded")
+	}
+	status, _, errResp := postSynth(t, ts.URL, &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking synthesis: status %d (%+v), want 500", status, errResp)
+	}
+
+	// The next request — on the same process, same pool of slots —
+	// succeeds, and the panic shows up in the metrics.
+	srv.synthesize = defaultSynthesize
+	status, res, _ := postSynth(t, ts.URL, &synthesizeRequest{FlowC: apps.Divisors, Net: apps.DivisorsSpec})
+	if status != http.StatusOK || len(res.Code) == 0 {
+		t.Fatalf("request after panic: status %d", status)
+	}
+	_, metricsBody := getBody(t, ts.URL+"/metrics")
+	assertMetricMin(t, metricsBody, "qss_panics_total", 1)
+}
+
 // TestBadRequests pins the 400/422 classification.
 func TestBadRequests(t *testing.T) {
 	srv := New(Config{})
