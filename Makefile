@@ -12,6 +12,12 @@
 #                      store bytes <= 0.75x the full-replica baseline
 #                      at 2 workers, plus the ~1/N scaling curve
 #                      (exact live byte counts, machine-independent)
+#   make store-frozen— the frozen store tier gate: the 161k-state
+#                      ExploreLarge net byte-identical with closed
+#                      levels frozen to on-disk delta segments, exact
+#                      machine-independent hot-byte accounting with
+#                      hot residency <= 0.35x the all-hot store, plus
+#                      the freeze/thaw unit and determinism suite
 #   make dist-chaos  — the seeded fault-injection matrix: heartbeat
 #                      death detection, kill/sever/delay faults over
 #                      pipe pools, and a real spawned worker SIGKILLed
@@ -32,15 +38,19 @@ FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
 BENCH_ALLOC_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test dist-matrix dist-memory dist-chaos server-smoke bench benchgate baseline fuzz-smoke
+.PHONY: ci build vet test dist-matrix dist-memory dist-chaos store-frozen server-smoke bench benchgate baseline fuzz-smoke
 
 ci: build vet test server-smoke bench benchgate fuzz-smoke
 
 dist-matrix:
-	$(GO) test -race -count=1 -v -run 'TestDeterminismMatrix|TestReachMatrix|TestCorpusSweepDist' ./internal/dist
+	$(GO) test -race -count=1 -v -run 'TestDeterminismMatrix|TestReachMatrix|TestCorpusSweepDist|TestCorpusSweepFrozen' ./internal/dist
 
 dist-memory:
 	$(GO) test -race -count=1 -v -run 'TestDistTrimmedMemoryGate|TestDistTrimmedMemoryScaling' ./internal/dist
+
+store-frozen:
+	$(GO) test -race -count=1 -v -run 'TestStoreFrozenGate' .
+	$(GO) test -race -count=1 -v -run 'TestTokenDeltas|TestFreeze|TestExploreFreezeLevelsDeterminism' ./internal/petri
 
 dist-chaos:
 	$(GO) test -race -count=1 -v -run 'TestHelloPidRoundTrip|TestHeartbeatTimeout|TestChaosPipeMatrix|TestChaosSpawnedKill' ./internal/dist

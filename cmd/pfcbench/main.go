@@ -6,15 +6,17 @@
 //
 //	pfcbench [-fig20] [-table1] [-table2] [-all] [-frames N]
 //	         [-explore-workers N] [-dist-workers N] [-dist-endpoint ep]
-//	         [-dist-full-replicas] [-cpuprofile f] [-memprofile f]
+//	         [-dist-full-replicas] [-freeze-levels]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // -explore-workers parallelizes the schedule search's state-space
 // exploration; -dist-workers instead shards it across worker OS
 // processes (spawned locally, or awaited as external cmd/qssd
 // processes at -dist-endpoint), each holding only its owned hash
 // shards unless -dist-full-replicas restores the full-replica
-// fallback. Results are byte-identical for every value of any of
-// them. -cpuprofile/-memprofile write pprof profiles, so
+// fallback. -freeze-levels moves closed exploration levels to on-disk
+// delta segments (locally and in spawned workers). Results are
+// byte-identical for every value of any of them. -cpuprofile/-memprofile write pprof profiles, so
 // perf regressions can be diagnosed without editing source.
 // Contradictory flag combinations (negative counts, -dist-endpoint
 // without -dist-workers, both exploration strategies at once) are
@@ -73,6 +75,7 @@ func realMain() (code int) {
 	distWorkers := flag.Int("dist-workers", 0, "worker OS processes sharding the exploration (0 = none)")
 	distEndpoint := flag.String("dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning")
 	distFullReplicas := flag.Bool("dist-full-replicas", false, "fall back to full worker replicas instead of trimmed owned-shard ones")
+	freezeLevels := flag.Bool("freeze-levels", false, "freeze closed exploration levels to on-disk delta segments")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -95,11 +98,17 @@ func realMain() (code int) {
 			}
 		}
 	}()
+	if *freezeLevels && *distWorkers > 0 {
+		// Spawned workers inherit the environment; externally started
+		// qssd workers take -freeze-levels themselves.
+		os.Setenv(dist.EnvFreeze, "1")
+	}
 	res, err := apps.SynthesizePFCWith(&core.Options{
 		ExploreWorkers:   *exploreWorkers,
 		DistWorkers:      *distWorkers,
 		DistEndpoint:     *distEndpoint,
 		DistFullReplicas: *distFullReplicas,
+		FreezeLevels:     *freezeLevels,
 		DisableCache:     true,
 	})
 	if err != nil {

@@ -10,7 +10,7 @@
 //	qss-server [-listen :9090] [-max-concurrent N] [-max-queue N]
 //	           [-max-nodes N] [-default-timeout 30s] [-max-timeout 2m]
 //	           [-drain-timeout 30s] [-dist-workers N]
-//	           [-dist-endpoint EP] [-dist-full-replicas]
+//	           [-dist-endpoint EP] [-dist-full-replicas] [-freeze-levels]
 //
 // Endpoints: POST /v1/synthesize (JSON in/out), GET /healthz
 // (liveness), GET /readyz (admission readiness; 503 while draining),
@@ -58,6 +58,7 @@ func realMain() int {
 		distWorkers    = flag.Int("dist-workers", 0, "spawn this many persistent local dist worker processes shared by all requests (0 = in-process exploration)")
 		distEndpoint   = flag.String("dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning (requires -dist-workers)")
 		distFull       = flag.Bool("dist-full-replicas", false, "run the dist pool with full worker replicas instead of trimmed owned-shard ones")
+		freezeLevels   = flag.Bool("freeze-levels", false, "freeze closed exploration levels to on-disk delta segments (locally and in spawned workers)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -82,9 +83,15 @@ func realMain() int {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drainTimeout,
+		FreezeLevels:   *freezeLevels,
 		Log:            logger,
 	}
 	if *distWorkers > 0 {
+		if *freezeLevels {
+			// Spawned workers inherit the environment; externally
+			// started qssd workers take -freeze-levels themselves.
+			os.Setenv(dist.EnvFreeze, "1")
+		}
 		var pool *dist.Pool
 		var err error
 		if *distEndpoint != "" {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	qssbatch [-n apps] [-seed N] [-workers N] [-explore-workers N]
-//	         [-dist-workers N] [-dist-endpoint ep]
+//	         [-dist-workers N] [-dist-endpoint ep] [-freeze-levels]
 //	         [-compare] [-cpuprofile f] [-memprofile f] [shape flags] [-v]
 //
 // -workers bounds the number of concurrent app syntheses (0 =
@@ -18,8 +18,12 @@
 // Workers hold only their owned hash shards by default (per-worker
 // memory ~1/N of the state space); -dist-full-replicas falls back to
 // full worker replicas rebuilt from delta broadcasts.
-// -compare additionally runs the serial baseline and prints the
-// speedup. -cpuprofile/-memprofile write pprof profiles, so perf
+// -freeze-levels moves closed exploration levels to on-disk delta
+// segments (and, with -dist-workers, arms the same tier in spawned
+// workers via QSS_DIST_FREEZE), trading thaw reads for a hot store
+// that no longer scales with marking width — results are
+// byte-identical. -compare additionally runs the serial baseline and
+// prints the speedup. -cpuprofile/-memprofile write pprof profiles, so perf
 // regressions can be diagnosed without editing source. Shape flags
 // mirror corpus.Config; see internal/corpus.
 //
@@ -91,6 +95,7 @@ func realMain() (code int) {
 	flag.IntVar(&bf.distWorkers, "dist-workers", 0, "worker OS processes sharding each exploration (0 = none)")
 	flag.StringVar(&bf.distEndpoint, "dist-endpoint", "", "await externally started qssd workers at this endpoint instead of spawning")
 	flag.BoolVar(&bf.distFullReplicas, "dist-full-replicas", false, "fall back to full worker replicas instead of trimmed owned-shard ones")
+	freezeLevels := flag.Bool("freeze-levels", false, "freeze closed exploration levels to on-disk delta segments")
 	compare := flag.Bool("compare", false, "also run the serial baseline and report the speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -136,8 +141,13 @@ func realMain() (code int) {
 	// The batch scales out over apps; the per-app source pool stays
 	// serial so the app level and the frontier level are the only two
 	// pools contending for cores.
-	copt := &core.Options{Workers: 1, ExploreWorkers: bf.exploreWorkers, DisableCache: true}
+	copt := &core.Options{Workers: 1, ExploreWorkers: bf.exploreWorkers, DisableCache: true, FreezeLevels: *freezeLevels}
 	if bf.distWorkers > 0 {
+		if *freezeLevels {
+			// Spawned workers inherit the environment; externally
+			// started qssd workers take -freeze-levels themselves.
+			os.Setenv(dist.EnvFreeze, "1")
+		}
 		// One pool amortized over the whole batch (a dist pool is a
 		// sequential resource, so the batch itself stays serial too).
 		var (

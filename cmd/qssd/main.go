@@ -10,14 +10,18 @@
 // Usage:
 //
 //	qssd -connect unix:/path/to.sock
-//	qssd -connect tcp:host:port [-timeout 30s] [-dial-attempts N] [-full-replicas]
+//	qssd -connect tcp:host:port [-timeout 30s] [-dial-attempts N]
+//	     [-full-replicas] [-freeze-levels]
 //
 // One qssd process is one worker; start as many as the coordinator was
 // told to await. -full-replicas advertises that this worker refuses
 // trimmed sessions: the coordinator falls back to full-replica mode
 // for the whole pool, trading this worker's memory for local successor
-// classification. Determinism is the coordinator's job: any number of
-// workers, in either replica mode, on any machines, produces
+// classification. -freeze-levels moves the vectors of committed levels
+// into an on-disk delta segment, so this worker's resident store cost
+// stops scaling with the marking width (protocol 3+ sessions only).
+// Determinism is the coordinator's job: any number of workers, in
+// either replica mode, frozen or all-hot, on any machines, produces
 // byte-identical results.
 package main
 
@@ -39,6 +43,7 @@ func realMain() int {
 	timeout := flag.Duration("timeout", 30*time.Second, "how long to keep retrying the initial dial")
 	dialAttempts := flag.Int("dial-attempts", 0, "cap the initial-dial retries (exponential backoff with jitter); 0 retries until -timeout expires")
 	fullReplicas := flag.Bool("full-replicas", false, "refuse trimmed sessions; the coordinator falls back to full-replica mode")
+	freezeLevels := flag.Bool("freeze-levels", false, "freeze committed levels to an on-disk delta segment (protocol 3+ sessions)")
 	flag.Parse()
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "qssd: -connect is required")
@@ -50,7 +55,7 @@ func realMain() int {
 		flag.Usage()
 		return 2
 	}
-	if err := dist.Serve(*connect, *timeout, dist.WorkerOptions{FullReplicas: *fullReplicas, DialAttempts: *dialAttempts}); err != nil {
+	if err := dist.Serve(*connect, *timeout, dist.WorkerOptions{FullReplicas: *fullReplicas, DialAttempts: *dialAttempts, FreezeLevels: *freezeLevels}); err != nil {
 		fmt.Fprintln(os.Stderr, "qssd:", err)
 		return 1
 	}

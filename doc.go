@@ -127,6 +127,49 @@
 // fire counts, chunk counts, received bytes per level) on the
 // 161k-state net.
 //
+// # Frozen store tier (beyond-RAM exploration)
+//
+// Level-synchronous exploration gives marking lifetimes a shape the
+// store can exploit: once a BFS level has been merged, its states can
+// be rediscovered (a dedup probe) but never re-expanded, so their
+// token vectors are cold from that moment on. With
+// petri.ExploreOptions.FreezeLevels (core.Options.FreezeLevels,
+// sched.Options.FreezeLevels, -freeze-levels on the cmd tools) the
+// store freezes each closed level out of the hot arena into an
+// append-only on-disk segment of delta records — parent MarkID +
+// fired transition reconstructs a vector from its parent, the same
+// insight the dist wire format exploits; roots and states whose
+// parent cannot serve as a delta base are stored verbatim. The
+// segment lives in an unlinked temp file and is read back by mmap
+// (with a pread fallback where mmap is unavailable); only the hashes,
+// the open-addressing probe table and one segment offset per state
+// stay resident, so the hot store no longer scales with the marking
+// width. MarkingStore.At is unchanged for callers: an id below the
+// frozen boundary thaws transparently — the parent chain is walked
+// back to a hot, cached or verbatim base and the deltas are replayed
+// forward, with a bounded FIFO cache memoizing thawed vectors and
+// every 16th chain ancestor so probe-heavy workloads do not replay
+// long chains repeatedly. Hash-alias handling is unaffected: the
+// vector-exact fallback reads frozen vectors through the same thawing
+// path. MarkingStore.Mem reports the split (StoreMem.HotBytes /
+// FrozenBytes — exact, machine-independent counts; the single source
+// for sched.SearchStats.StoreHotBytes/StoreFrozenBytes,
+// dist.WorkerMem and the server's qss_store_hot_bytes /
+// qss_store_frozen_bytes gauges). The serial explorer, the graph
+// engine and RunFrontier freeze at each level commit
+// (petri.MergeHooks.LevelClosed); dist workers freeze their replicas
+// below each committed level, and the whole thing composes with
+// trimmed replicas — per-worker hot memory scales ~1/N AND sheds its
+// vectors. Freezing never changes results: `make store-frozen` (its
+// own CI step) pins byte-identical reachability on the 161k-state
+// ExploreLarge net with hot residency gated at <= 0.35x the all-hot
+// store by exact byte accounting, the determinism matrix and a 50-app
+// corpus sweep run frozen configurations, and a nightly beyond-RAM
+// sweep freezes the heavy corpus end to end. Failures (temp-file or
+// write errors) silently revert to all-hot — identical results,
+// larger residency. Tree engines (EP/EP_ECS) are not
+// level-synchronous and ignore the option.
+//
 // # Failure model
 //
 // Determinism is also what makes worker failure survivable: any

@@ -23,7 +23,8 @@ import (
 // Sched.Dist) are deliberately not part of the key — every execution
 // strategy of the parallelism model, in-process or cross-process,
 // trimmed or full replicas, produces Results byte-identical to the
-// serial paths.
+// serial paths. Options.FreezeLevels is in the same class: a frozen
+// store changes where vectors live, never what is computed.
 
 // cacheLimit bounds the number of retained entries; eviction is FIFO in
 // insertion order, which is enough for the repeat-synthesis workloads

@@ -98,6 +98,14 @@ type Options struct {
 	// cache key — different budgets can legitimately produce different
 	// outcomes (ErrBudget vs a schedule).
 	MaxNodes int
+	// FreezeLevels makes each graph-engine search evict closed BFS
+	// levels of its marking store to an on-disk delta segment
+	// (sched.Options.FreezeLevels), bounding hot memory on huge nets at
+	// the cost of reconstructing cold vectors on later reads. Results
+	// are byte-identical either way, so like the worker knobs it is an
+	// execution-strategy field, not part of the cache key. A pre-set
+	// Sched options struct is copied, never mutated.
+	FreezeLevels bool
 }
 
 // Result is the outcome of the full flow.
@@ -205,6 +213,7 @@ func SynthesizeSystemContext(ctx context.Context, f *flowc.File, spec *link.Spec
 		opt = &Options{}
 	}
 	opt = withMaxNodes(opt)
+	opt = withFreezeLevels(opt)
 	if err := flowc.CheckFile(f); err != nil {
 		return nil, fmt.Errorf("core: check: %w", err)
 	}
@@ -364,6 +373,23 @@ func withMaxNodes(opt *Options) *Options {
 		so = *opt.Sched
 	}
 	so.MaxNodes = opt.MaxNodes
+	o.Sched = &so
+	return &o
+}
+
+// withFreezeLevels folds Options.FreezeLevels into the sched options,
+// copying rather than mutating the caller's structs. A Sched struct
+// with the flag already set is left alone.
+func withFreezeLevels(opt *Options) *Options {
+	if !opt.FreezeLevels || (opt.Sched != nil && opt.Sched.FreezeLevels) {
+		return opt
+	}
+	o := *opt
+	so := sched.Options{}
+	if opt.Sched != nil {
+		so = *opt.Sched
+	}
+	so.FreezeLevels = true
 	o.Sched = &so
 	return &o
 }

@@ -77,6 +77,20 @@
 // with the coordinator in every worker. Results are byte-identical in
 // both modes.
 //
+// Orthogonally, WorkerOptions.FreezeLevels (cmd/qssd -freeze-levels,
+// or QSS_DIST_FREEZE=1 for spawned workers) moves the vectors of
+// committed levels out of each replica's hot store into an on-disk
+// delta segment (the petri.MarkingStore frozen tier): once msgLevel
+// commits a level, states below it can never again be record parents
+// or expansion sources, so only hashes, the probe table and segment
+// offsets stay resident — the remaining per-state hot cost no longer
+// scales with the marking width. Dedup probes against old states thaw
+// vectors on demand. The coordinator freezes its authoritative store
+// the same way when the caller sets FreezeLevels in its explore
+// options; a full replica asked to restore a mostly-frozen store pays
+// a thaw per shipped state (slow but correct). Results stay
+// byte-identical in every combination.
+//
 // # Process management
 //
 // SpawnLocal re-executes the current binary as worker processes; any
@@ -132,10 +146,13 @@ import (
 
 // Environment variables wiring spawned worker processes to their
 // coordinator (see MaybeWorker) and the optional log directory.
+// EnvFreeze (any non-empty value) arms WorkerOptions.FreezeLevels in
+// spawned workers, which have no command line of their own.
 const (
 	EnvWorker   = "QSS_DIST_WORKER"
 	EnvEndpoint = "QSS_DIST_ENDPOINT"
 	EnvLogDir   = "QSS_DIST_LOGDIR"
+	EnvFreeze   = "QSS_DIST_FREEZE"
 )
 
 // ParseEndpoint splits an endpoint of the form "unix:/path/to.sock",
@@ -218,7 +235,8 @@ func MaybeWorker() {
 		logw.printf("%v", err)
 		os.Exit(1)
 	}
-	if err := ServeConn(conn, logw, WorkerOptions{}); err != nil {
+	opt := WorkerOptions{FreezeLevels: os.Getenv(EnvFreeze) != ""}
+	if err := ServeConn(conn, logw, opt); err != nil {
 		logw.printf("serve: %v", err)
 		conn.Close()
 		os.Exit(1)

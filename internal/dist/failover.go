@@ -603,6 +603,12 @@ func (a *v3attempt) run(n *petri.Net, store *petri.MarkingStore, spec petri.Expa
 			rs.levelDone = false
 		}
 		if levelStart == levelEnd {
+			// Exploration complete: every state is closed. Freeze the
+			// tail for parity with the in-process paths (no-op unless
+			// the store has a frozen tier).
+			if hooks.LevelClosed != nil {
+				hooks.LevelClosed(levelEnd)
+			}
 			return a.finish(n, store, true)
 		}
 		if levelStart > 0 && !first {
@@ -626,6 +632,16 @@ func (a *v3attempt) run(n *petri.Net, store *petri.MarkingStore, spec petri.Expa
 				if err := c.send(msgLevel, payload); err != nil {
 					return a.die(i, fmt.Errorf("level commit: %w", err))
 				}
+			}
+			// States below levelStart are closed: their expansion
+			// produced this level and the record flushes above were the
+			// last reads of their hot vectors (boundary-parent
+			// attachment). Freeze them now; the merge below touches only
+			// [levelStart, levelEnd) plus thaw-tolerant lookups. A
+			// replayed level skips this — the pre-failure attempt
+			// already froze it (FreezeThrough is idempotent anyway).
+			if hooks.LevelClosed != nil {
+				hooks.LevelClosed(levelStart)
 			}
 		}
 		p.fireLevelHook(p.stats.Levels)

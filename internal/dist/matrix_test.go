@@ -65,12 +65,16 @@ var matrixApps = []struct {
 // matrixConfig is one execution strategy. procs > 0 spawns that many
 // worker processes (trimmed owned-shard replicas by default; full
 // restores the broadcast full-replica fallback); otherwise ew is the
-// in-process ExploreWorkers value (1 = plain serial).
+// in-process ExploreWorkers value (1 = plain serial). freeze turns on
+// the frozen store tier — on the coordinator via
+// core.Options.FreezeLevels, and in spawned workers via the
+// QSS_DIST_FREEZE environment variable they inherit.
 type matrixConfig struct {
-	name  string
-	ew    int
-	procs int
-	full  bool
+	name   string
+	ew     int
+	procs  int
+	full   bool
+	freeze bool
 }
 
 var matrixConfigs = []matrixConfig{
@@ -78,10 +82,13 @@ var matrixConfigs = []matrixConfig{
 	{name: "explore-workers-1", ew: 1},
 	{name: "explore-workers-4", ew: 4},
 	{name: "explore-workers-8", ew: 8},
+	{name: "serial-frozen", ew: 1, freeze: true},
 	{name: "dist-procs-1", procs: 1},
 	{name: "dist-procs-2", procs: 2},
 	{name: "dist-procs-4", procs: 4},
 	{name: "dist-procs-2-full-replicas", procs: 2, full: true},
+	{name: "dist-procs-2-frozen", procs: 2, freeze: true},
+	{name: "dist-procs-2-full-replicas-frozen", procs: 2, full: true, freeze: true},
 }
 
 // TestDeterminismMatrix: byte-identical generated C and schedules for
@@ -98,15 +105,18 @@ func TestDeterminismMatrix(t *testing.T) {
 	}
 	for _, cfg := range matrixConfigs[1:] {
 		t.Run(cfg.name, func(t *testing.T) {
-			opt := &core.Options{Workers: 1, ExploreWorkers: cfg.ew, DisableCache: true}
+			opt := &core.Options{Workers: 1, ExploreWorkers: cfg.ew, DisableCache: true, FreezeLevels: cfg.freeze}
 			if cfg.procs > 0 {
+				if cfg.freeze {
+					t.Setenv(dist.EnvFreeze, "1")
+				}
 				pool, err := dist.SpawnLocal(cfg.procs)
 				if err != nil {
 					t.Fatalf("spawn %d workers: %v", cfg.procs, err)
 				}
 				defer pool.Close()
 				pool.SetFullReplicas(cfg.full)
-				opt = &core.Options{Workers: 1, Dist: pool, DisableCache: true}
+				opt = &core.Options{Workers: 1, Dist: pool, DisableCache: true, FreezeLevels: cfg.freeze}
 			}
 			for _, app := range matrixApps {
 				r, err := core.Synthesize(app.flowc, app.spec, opt)
@@ -267,6 +277,32 @@ func TestCorpusSweepDist(t *testing.T) {
 		}
 		if fw, fg := fingerprint(t, want), fingerprint(t, got); fw != fg {
 			t.Errorf("app %d (%s): dist output differs from serial\n%s", i, app.Name, firstDiff(fw, fg))
+		}
+	}
+}
+
+// TestCorpusSweepFrozen: the freeze/thaw property sweep — the same
+// 50-app corpus synthesizes to byte-identical code with the frozen
+// store tier on, every level frozen to disk and thawed on demand,
+// versus the all-hot serial baseline.
+func TestCorpusSweepFrozen(t *testing.T) {
+	appsList := corpus.GenerateCorpus(1234, 50, sweepConfig())
+	serialOpt := &core.Options{Workers: 1, ExploreWorkers: 1, DisableCache: true}
+	frozenOpt := &core.Options{Workers: 1, ExploreWorkers: 1, DisableCache: true, FreezeLevels: true}
+	for i, app := range appsList {
+		want, serr := core.Synthesize(app.FlowC, app.Spec, serialOpt)
+		got, ferr := core.Synthesize(app.FlowC, app.Spec, frozenOpt)
+		if (serr == nil) != (ferr == nil) {
+			t.Fatalf("app %d (%s): all-hot err %v, frozen err %v", i, app.Name, serr, ferr)
+		}
+		if serr != nil {
+			if serr.Error() != ferr.Error() {
+				t.Fatalf("app %d (%s): divergent errors\n all-hot: %v\n frozen:  %v", i, app.Name, serr, ferr)
+			}
+			continue
+		}
+		if fw, fg := fingerprint(t, want), fingerprint(t, got); fw != fg {
+			t.Errorf("app %d (%s): frozen output differs from all-hot\n%s", i, app.Name, firstDiff(fw, fg))
 		}
 	}
 }

@@ -596,10 +596,15 @@ func decodeRestore(buf []byte) (*restoreMsg, error) {
 // informational only.
 type WorkerMem struct {
 	States     int   // markings held in the worker's store
-	StoreBytes int64 // MarkingStore.ArenaBytes() + the local->global id table (4B per held state when trimmed)
+	StoreBytes int64 // hot store bytes (MarkingStore.Mem().HotBytes) + the local->global id table (4B per held state when trimmed)
 	BitsBytes  int64 // enabled-set arena (len * 8)
 	CacheBytes int64 // boundary-parent vector cache payload
 	HeapBytes  int64 // runtime.MemStats.HeapAlloc (informational)
+	// FrozenBytes is the worker store's on-disk delta segment
+	// (MarkingStore.Mem().FrozenBytes); 0 unless the worker runs with
+	// WorkerOptions.FreezeLevels. Wire-optional: a worker predating the
+	// frozen tier simply omits the field and decodes as 0.
+	FrozenBytes int64
 }
 
 func appendStats(dst []byte, m WorkerMem) []byte {
@@ -608,6 +613,7 @@ func appendStats(dst []byte, m WorkerMem) []byte {
 	dst = binary.AppendUvarint(dst, uint64(m.BitsBytes))
 	dst = binary.AppendUvarint(dst, uint64(m.CacheBytes))
 	dst = binary.AppendUvarint(dst, uint64(m.HeapBytes))
+	dst = binary.AppendUvarint(dst, uint64(m.FrozenBytes))
 	return dst
 }
 
@@ -626,6 +632,9 @@ func decodeStats(buf []byte) (WorkerMem, error) {
 	m.BitsBytes = int64(u())
 	m.CacheBytes = int64(u())
 	m.HeapBytes = int64(u())
+	if len(buf) > 0 { // optional trailing field (older workers omit it)
+		m.FrozenBytes = int64(u())
+	}
 	if err != nil {
 		return WorkerMem{}, fmt.Errorf("dist: stats: %w", err)
 	}

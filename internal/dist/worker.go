@@ -45,6 +45,14 @@ type WorkerOptions struct {
 	// -dial-attempts): 0 retries until the dial budget expires, n > 0
 	// gives up after n attempts even with budget left.
 	DialAttempts int
+	// FreezeLevels makes the replica evict committed levels of its
+	// local store into an on-disk delta segment (petri.MarkingStore
+	// freeze tier): once the coordinator commits a level, states below
+	// it can never again be record parents or expansion sources, so
+	// only their hashes and segment offsets stay resident. Shrinks the
+	// per-worker footprint on top of what trimming already saves.
+	// Protocol-3+ sessions only; results are byte-identical either way.
+	FreezeLevels bool
 }
 
 // replica is one session's worker-side state.
@@ -70,10 +78,22 @@ type replica struct {
 	nextStart int
 	levels    int
 
+	// fwin buffers per-local-state provenance for the store's frozen
+	// tier (WorkerOptions.FreezeLevels); nil when freezing is off.
+	fwin *petri.FreezeWindow
+
 	index, workers, shards int
 }
 
-func newReplica(m *initMsg) (*replica, error) {
+// appendProv records the provenance of the local state just interned;
+// every intern site must call it exactly once, in intern order.
+func (r *replica) appendProv(p petri.FreezeProv) {
+	if r.fwin != nil {
+		r.fwin.Append(p)
+	}
+}
+
+func newReplica(m *initMsg, freeze bool) (*replica, error) {
 	r := &replica{
 		net:     m.net,
 		spec:    m.spec,
@@ -95,6 +115,11 @@ func newReplica(m *initMsg) (*replica, error) {
 	if r.trim {
 		r.vcache = newVecCache()
 	}
+	if freeze {
+		if err := r.store.EnableFreeze(petri.FreezeConfig{Deltas: r.net.TokenDeltas()}); err == nil {
+			r.fwin = &petri.FreezeWindow{}
+		}
+	}
 	r.rootCount = len(m.roots)
 	for i, root := range m.roots {
 		if len(root) != len(r.net.Places) {
@@ -111,6 +136,7 @@ func newReplica(m *initMsg) (*replica, error) {
 		if !r.trim && int(id) != i {
 			return nil, fmt.Errorf("dist: root %d interned as %d", i, id)
 		}
+		r.appendProv(petri.FreezeProv{Parent: petri.NoMark}) // roots: verbatim
 		if r.trim {
 			r.gids = append(r.gids, petri.MarkID(i))
 		}
@@ -179,6 +205,7 @@ func (r *replica) applyDelta(d petri.Delta) error {
 	if !isNew {
 		return fmt.Errorf("dist: delta (%d, %s) re-discovers state %d", d.Parent, t.Name, id)
 	}
+	r.appendProv(petri.FreezeProv{Parent: d.Parent, Trans: d.Trans}) // full replica: local id == global
 	base := len(r.bits)
 	r.bits = append(r.bits, make([]uint64, r.stride)...)
 	r.tracker.Update(r.bits[base:base+r.stride],
@@ -234,6 +261,9 @@ func (r *replica) applyRec(rec petri.VecDelta) error {
 	if n := len(r.gids); n > 0 && r.gids[n-1] >= rec.Child {
 		return fmt.Errorf("dist: record child %d not ascending (last %d)", rec.Child, r.gids[n-1])
 	}
+	// Provenance is in LOCAL ids: a non-owned parent (shipped or cached
+	// vector) has none, so the child freezes verbatim.
+	r.appendProv(petri.FreezeProv{Parent: parentLocal, Trans: rec.Trans})
 	r.gids = append(r.gids, rec.Child)
 	base := len(r.bits)
 	r.bits = append(r.bits, make([]uint64, r.stride)...)
@@ -290,6 +320,7 @@ func (r *replica) applyRestore(m *restoreMsg) error {
 		if !isNew {
 			return fmt.Errorf("dist: restore re-interns state %d as local %d", g, id)
 		}
+		r.appendProv(petri.FreezeProv{Parent: petri.NoMark}) // restored: verbatim
 		if r.trim {
 			r.gids = append(r.gids, g)
 		}
@@ -463,13 +494,44 @@ func (r *replica) classify() (petri.MarkID, uint64, bool) {
 	return petri.NoMark, h, true
 }
 
+// freezeCommitted evicts local states that are both already expanded
+// (below cursor) and below the just-committed level start — future
+// records can only name parents inside the committed level, and
+// expansion never revisits a state, so nothing hot-path reads their
+// vectors again (dedup probes and candKnown resolution thaw on
+// demand). No-op unless WorkerOptions.FreezeLevels armed the store; a
+// segment write failure permanently reverts the session to all-hot.
+func (r *replica) freezeCommitted(start int, cursor petri.MarkID) {
+	if r.fwin == nil {
+		return
+	}
+	floor := start // full replica: local id == global id
+	if r.trim {
+		floor = sort.Search(len(r.gids), func(i int) bool { return int(r.gids[i]) >= start })
+	}
+	if int(cursor) < floor {
+		floor = int(cursor)
+	}
+	if err := r.store.FreezeThrough(floor, r.fwin.Prov); err != nil {
+		r.fwin = nil
+		return
+	}
+	r.fwin.Drop(r.store.FrozenLen())
+}
+
 // memStats summarizes the replica's memory for the end-of-session
-// stats reply.
+// stats reply. Store accounting derives from the single
+// petri.MarkingStore.Mem helper — plus the gids translation table
+// (4 bytes per owned state in trimmed mode) — so this figure, the
+// dist-memory CI gate and the server's worker-memory gauge can never
+// silently diverge.
 func (r *replica) memStats() WorkerMem {
+	sm := r.store.Mem()
 	m := WorkerMem{
-		States:     r.store.Len(),
-		StoreBytes: int64(r.store.ArenaBytes()) + int64(len(r.gids))*4,
-		BitsBytes:  int64(len(r.bits)) * 8,
+		States:      r.store.Len(),
+		StoreBytes:  sm.HotBytes + int64(len(r.gids))*4,
+		BitsBytes:   int64(len(r.bits)) * 8,
+		FrozenBytes: sm.FrozenBytes,
 	}
 	if r.vcache != nil {
 		m.CacheBytes = int64(r.vcache.bytes())
@@ -553,7 +615,7 @@ func serveConnVer(nc net.Conn, logw *logWriter, opt WorkerOptions, ver int) erro
 		}
 		if err == nil {
 			if init.proto >= 3 {
-				err = serveSessionV3(c, init, logw)
+				err = serveSessionV3(c, init, logw, opt)
 			} else {
 				err = serveSession(c, init, logw)
 			}
@@ -572,7 +634,7 @@ func serveConnVer(nc net.Conn, logw *logWriter, opt WorkerOptions, ver int) erro
 // serveSession runs one protocol-2 exploration: apply each level's
 // batch, expand the owned slice of the frontier, reply, until done.
 func serveSession(c *conn, init *initMsg, logw *logWriter) error {
-	r, err := newReplica(init)
+	r, err := newReplica(init, false) // freezing needs the v3 level commits
 	if err != nil {
 		return err
 	}
@@ -630,8 +692,8 @@ func serveSession(c *conn, init *initMsg, logw *logWriter) error {
 // the credit window is exhausted and resumes on msgAck; a partial chunk
 // is flushed whenever the worker has expanded everything it holds, so
 // the coordinator's merge never waits on buffered bytes.
-func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
-	r, err := newReplica(init)
+func serveSessionV3(c *conn, init *initMsg, logw *logWriter, opt WorkerOptions) error {
+	r, err := newReplica(init, opt.FreezeLevels)
 	if err != nil {
 		return err
 	}
@@ -722,8 +784,8 @@ func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
 			// Parked or buffered candidates are discarded: done mid-level
 			// means the merge aborted (a hook rejected the budget).
 			mem := r.memStats()
-			logw.printf("session end: %d levels, %d states held, %d chunks, %dB store, %dB bits, %dB cache",
-				len(bounds)-1, mem.States, chunks, mem.StoreBytes, mem.BitsBytes, mem.CacheBytes)
+			logw.printf("session end: %d levels, %d states held (%d frozen), %d chunks, %dB store, %dB frozen, %dB bits, %dB cache",
+				len(bounds)-1, mem.States, r.store.FrozenLen(), chunks, mem.StoreBytes, mem.FrozenBytes, mem.BitsBytes, mem.CacheBytes)
 			return transportErr(c.send(msgStats, appendStats(nil, mem)))
 		case msgPing:
 			if err := c.send(msgPong, nil); err != nil {
@@ -807,6 +869,7 @@ func serveSessionV3(c *conn, init *initMsg, logw *logWriter) error {
 				return fmt.Errorf("dist: level commit [%d,%d) but replica holds %d states", start, end, r.store.Len())
 			}
 			bounds = append(bounds, end)
+			r.freezeCommitted(start, cursor)
 			if err := pump(); err != nil {
 				return err
 			}

@@ -1,0 +1,432 @@
+package petri
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Frozen-level tier of the MarkingStore. A level-synchronous BFS never
+// expands a state twice: once a level is fully merged, its token
+// vectors are touched only by dedup probes (hash collisions), schedule
+// extraction and diagnostics. Keeping them hot forever makes the arena
+// the scaling wall of large explorations. FreezeThrough evicts the
+// vectors of closed levels into an append-only, delta-compressed
+// segment file — one record per state, holding either the verbatim
+// vector (roots, or states whose provenance the caller cannot name) or
+// just (parent-id gap, transition): the child vector is the parent's
+// plus the transition's net token effect, the same reconstruction
+// insight the dist wire format exploits. Hot memory for a frozen state
+// is its hash (8B), probe-table slot (4B) and segment offset (8B) —
+// independent of the number of places.
+//
+// Reads go through At unchanged: a frozen id is thawed on demand by
+// walking the parent chain down to a hot state, a cached vector or a
+// verbatim record, then replaying the transition deltas forward. A
+// small FIFO-evicted cache of thawed vectors (plus every
+// thawCacheStride-th ancestor of a long walk) keeps repeated probes of
+// the same cold region cheap. Thawed views are ordinary heap slices:
+// like arena views they stay valid for as long as the caller holds
+// them, even after cache eviction.
+//
+// Freezing happens strictly after dense MarkID assignment, so state
+// numbering — and everything derived from it — is byte-identical with
+// and without the tier.
+
+// PlaceDelta is one entry of a transition's sparse token effect: firing
+// the transition changes place Place by Delta tokens.
+type PlaceDelta struct {
+	Place int32
+	Delta int32
+}
+
+// TokenDeltas returns, per transition, the net token effect of one
+// firing as a sparse place list (postset minus preset, self-loops
+// cancelled), ascending by place. child = parent + deltas[trans] for
+// any firing, which is what lets a frozen segment reconstruct a state
+// from (parent, transition) alone.
+func (n *Net) TokenDeltas() [][]PlaceDelta {
+	out := make([][]PlaceDelta, len(n.Transitions))
+	acc := map[int]int{}
+	for ti, t := range n.Transitions {
+		clear(acc)
+		for _, a := range t.In {
+			acc[a.Place] -= a.Weight
+		}
+		for _, a := range t.Out {
+			acc[a.Place] += a.Weight
+		}
+		var ds []PlaceDelta
+		for p, d := range acc {
+			if d != 0 {
+				ds = append(ds, PlaceDelta{Place: int32(p), Delta: int32(d)})
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Place < ds[j].Place })
+		out[ti] = ds
+	}
+	return out
+}
+
+// FreezeProv names the provenance of one interned state for delta
+// encoding: the state's vector equals At(Parent) plus the token deltas
+// of Trans. Parent == NoMark (or a parent that is not an earlier id)
+// stores the vector verbatim instead — roots, and states whose
+// first-discovery parent the caller no longer knows.
+type FreezeProv struct {
+	Parent MarkID
+	Trans  int32
+}
+
+// FreezeConfig configures a store's frozen tier.
+type FreezeConfig struct {
+	// Deltas is the per-transition sparse token effect, as returned by
+	// Net.TokenDeltas on the net whose markings the store interns.
+	// Required: reconstruction applies these without consulting the net.
+	Deltas [][]PlaceDelta
+	// Dir is where the segment file is created ("" = os.TempDir()). On
+	// platforms that allow it the file is unlinked immediately after
+	// creation, so it never outlives the process.
+	Dir string
+	// ThawCap bounds the thawed-vector cache (0 = 256 entries).
+	ThawCap int
+}
+
+// FreezeWindow buffers per-state provenance between level commits: the
+// explorer appends one FreezeProv per interned state (in MarkID order)
+// and drops everything below the frozen boundary after each
+// FreezeThrough, so the window's footprint is the unfrozen tail, not
+// the whole exploration.
+type FreezeWindow struct {
+	base int
+	prov []FreezeProv
+}
+
+// Append records the provenance of the next interned state.
+func (w *FreezeWindow) Append(p FreezeProv) { w.prov = append(w.prov, p) }
+
+// Prov returns the provenance of state id; id must be at or above the
+// last Drop boundary.
+func (w *FreezeWindow) Prov(id MarkID) FreezeProv { return w.prov[int(id)-w.base] }
+
+// Drop releases the provenance of states below end (typically the new
+// frozen boundary).
+func (w *FreezeWindow) Drop(end int) {
+	if end <= w.base {
+		return
+	}
+	keep := w.prov[end-w.base:]
+	nw := make([]FreezeProv, len(keep))
+	copy(nw, keep)
+	w.prov, w.base = nw, end
+}
+
+// StoreMem is the unified store-memory accounting: exact live byte
+// counts, pure functions of the interned marking sequence and the
+// frozen boundary, so values compare byte-for-byte across processes
+// and machines (the property CI's memory gates rely on).
+type StoreMem struct {
+	// HotBytes is everything resident: the hot token arena, all hashes,
+	// the probe table, and the frozen tier's per-state segment offsets.
+	HotBytes int64
+	// FrozenBytes is the length of the on-disk delta segment.
+	FrozenBytes int64
+}
+
+// Total is hot plus frozen bytes.
+func (m StoreMem) Total() int64 { return m.HotBytes + m.FrozenBytes }
+
+// Segment record tags.
+const (
+	frozenVerbatim = 0 // tag, then places token uvarints
+	frozenDelta    = 1 // tag, then uvarint(id-parent), uvarint(trans)
+)
+
+// thawCacheStride: a long reconstruction walk caches every so-many-th
+// ancestor alongside the requested vector, so later probes into the
+// same cold region restart from a nearby cached state instead of the
+// chain's verbatim root.
+const thawCacheStride = 16
+
+// frozenTier is the cold half of a MarkingStore (see the file comment).
+type frozenTier struct {
+	end    int // ids [0, end) are frozen; mirrors MarkingStore.frozenEnd
+	deltas [][]PlaceDelta
+	offs   []int64 // offs[id] = segment offset of id's record
+	size   int64   // segment length
+	f      *os.File
+	path   string // retained only when the unlink-after-create failed
+	data   []byte // mmap of [0, size); nil = pread fallback
+	noMmap bool
+	wbuf   []byte // encode buffer reused across FreezeThrough calls
+
+	// mu guards the thaw path: At on a frozen id is safe from any
+	// number of goroutines (unlike interning and FreezeThrough, which
+	// remain caller-serialized mutations).
+	mu      sync.Mutex
+	cache   map[MarkID]Marking
+	fifo    []MarkID
+	head    int
+	cap     int
+	scratch []byte // pread buffer
+}
+
+// release closes the tier's OS resources; registered as a finalizer so
+// an abandoned store (e.g. the pre-fallback store of a failed dist
+// session) cleans up without explicit Close plumbing.
+func (fz *frozenTier) release() {
+	if fz.data != nil {
+		munmapSegment(fz.data)
+		fz.data = nil
+	}
+	fz.f.Close()
+	if fz.path != "" {
+		os.Remove(fz.path)
+	}
+}
+
+// FreezeEnabled reports whether EnableFreeze has been called.
+func (s *MarkingStore) FreezeEnabled() bool { return s.frozen != nil }
+
+// FrozenLen returns the number of frozen states (ids [0, FrozenLen())
+// live in the segment, the rest in the hot arena).
+func (s *MarkingStore) FrozenLen() int { return s.frozenEnd }
+
+// EnableFreeze attaches a frozen tier to the store. Call before
+// exploration (the tier must see every FreezeThrough from id 0);
+// freezing an already-populated store is supported as long as nothing
+// was frozen yet. Enabling costs one temp file; no state moves until
+// FreezeThrough.
+func (s *MarkingStore) EnableFreeze(cfg FreezeConfig) error {
+	if s.frozen != nil {
+		return fmt.Errorf("petri: freeze already enabled")
+	}
+	f, err := os.CreateTemp(cfg.Dir, "qss-frozen-*.seg")
+	if err != nil {
+		return fmt.Errorf("petri: freeze segment: %w", err)
+	}
+	fz := &frozenTier{
+		deltas: cfg.Deltas,
+		f:      f,
+		cache:  map[MarkID]Marking{},
+		cap:    cfg.ThawCap,
+	}
+	if fz.cap <= 0 {
+		fz.cap = 256
+	}
+	// Unlink immediately where the OS allows reading an unlinked open
+	// file, so a killed process leaks nothing; keep the path (and let
+	// the finalizer remove it) elsewhere.
+	if os.Remove(f.Name()) != nil {
+		fz.path = f.Name()
+	}
+	runtime.SetFinalizer(fz, (*frozenTier).release)
+	s.frozen = fz
+	return nil
+}
+
+// FreezeThrough evicts states [FrozenLen(), end) from the hot arena
+// into the segment. prov names each state's provenance (see
+// FreezeProv); it is consulted once per newly frozen id, in order. The
+// call is a mutation like Intern: serialize it against interning AND
+// against concurrent readers. end is clamped to Len(); an end at or
+// below the current boundary is a no-op, so level-commit call sites
+// need no idempotence bookkeeping of their own. A store without
+// EnableFreeze ignores the call entirely.
+//
+// Callers must only freeze CLOSED states — states whose outgoing edges
+// are fully recorded and that no hot loop still holds an arena view
+// of. Old views stay valid (the hot arena is compacted by copy, never
+// mutated in place), but every later At of a frozen id pays the
+// reconstruction walk.
+func (s *MarkingStore) FreezeThrough(end int, prov func(MarkID) FreezeProv) error {
+	fz := s.frozen
+	if fz == nil {
+		return nil
+	}
+	if end > s.Len() {
+		end = s.Len()
+	}
+	if end <= s.frozenEnd {
+		return nil
+	}
+	buf := fz.wbuf[:0]
+	for id := s.frozenEnd; id < end; id++ {
+		fz.offs = append(fz.offs, fz.size+int64(len(buf)))
+		i := (id - s.frozenEnd) * s.places
+		vec := s.tokens[i : i+s.places]
+		p := prov(MarkID(id))
+		if p.Parent != NoMark && int(p.Parent) < id && int(p.Trans) < len(fz.deltas) {
+			buf = append(buf, frozenDelta)
+			buf = binary.AppendUvarint(buf, uint64(id-int(p.Parent)))
+			buf = binary.AppendUvarint(buf, uint64(p.Trans))
+			continue
+		}
+		buf = append(buf, frozenVerbatim)
+		for _, v := range vec {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	if _, err := fz.f.WriteAt(buf, fz.size); err != nil {
+		fz.offs = fz.offs[:s.frozenEnd]
+		fz.wbuf = buf[:0]
+		return fmt.Errorf("petri: freeze segment write: %w", err)
+	}
+	fz.size += int64(len(buf))
+	fz.wbuf = buf[:0]
+	// Compact the hot arena: copy the unfrozen tail into a fresh
+	// backing array. Outstanding views into the old array stay valid —
+	// its contents never change — and the old array is collected once
+	// the last view is dropped.
+	tail := s.tokens[(end-s.frozenEnd)*s.places:]
+	nt := make([]int, len(tail))
+	copy(nt, tail)
+	s.tokens = nt
+	s.frozenEnd = end
+	fz.end = end
+	fz.remap()
+	return nil
+}
+
+// remap re-mmaps the grown segment; on the first failure (or on
+// platforms without mmap) the tier falls back to pread permanently.
+func (fz *frozenTier) remap() {
+	if fz.noMmap {
+		return
+	}
+	if fz.data != nil {
+		munmapSegment(fz.data)
+		fz.data = nil
+	}
+	data, err := mmapSegment(fz.f, fz.size)
+	if err != nil {
+		fz.noMmap = true
+		return
+	}
+	fz.data = data
+}
+
+// record returns the raw segment record of a frozen id, from the mmap
+// when available, via pread otherwise. Callers hold fz.mu (the pread
+// scratch buffer is shared).
+func (fz *frozenTier) record(id MarkID) []byte {
+	off := fz.offs[id]
+	end := fz.size
+	if int(id)+1 < len(fz.offs) {
+		end = fz.offs[id+1]
+	}
+	if fz.data != nil && end <= int64(len(fz.data)) {
+		return fz.data[off:end]
+	}
+	n := int(end - off)
+	if cap(fz.scratch) < n {
+		fz.scratch = make([]byte, n)
+	}
+	b := fz.scratch[:n]
+	if _, err := fz.f.ReadAt(b, off); err != nil {
+		panic(fmt.Sprintf("petri: frozen segment read at %d: %v", off, err))
+	}
+	return b
+}
+
+// insert adds a thawed vector to the cache, evicting FIFO at capacity.
+// Callers hold fz.mu.
+func (fz *frozenTier) insert(id MarkID, v Marking) {
+	if _, ok := fz.cache[id]; ok {
+		return
+	}
+	if len(fz.cache) >= fz.cap {
+		old := fz.fifo[fz.head]
+		delete(fz.cache, old)
+		fz.fifo[fz.head] = id
+		fz.head = (fz.head + 1) % fz.cap
+	} else {
+		fz.fifo = append(fz.fifo, id)
+	}
+	fz.cache[id] = v
+}
+
+// thawLink is one delta step of a reconstruction walk.
+type thawLink struct {
+	id    MarkID
+	trans int32
+}
+
+// thaw reconstructs a frozen state's vector: walk the provenance chain
+// down until a hot state, a cached vector or a verbatim record, then
+// replay the transition deltas forward, caching the result (and, on
+// long walks, periodic ancestors). Corruption of the segment — which
+// the process itself wrote this session — panics like any other store
+// invariant violation.
+func (fz *frozenTier) thaw(s *MarkingStore, id MarkID) Marking {
+	fz.mu.Lock()
+	defer fz.mu.Unlock()
+	if v, ok := fz.cache[id]; ok {
+		return v
+	}
+	var chain []thawLink
+	var base Marking
+	cur := id
+	for {
+		if int(cur) >= fz.end {
+			i := (int(cur) - s.frozenEnd) * s.places
+			base = Marking(s.tokens[i : i+s.places : i+s.places])
+			break
+		}
+		if v, ok := fz.cache[cur]; ok {
+			base = v
+			break
+		}
+		rec := fz.record(cur)
+		if len(rec) == 0 {
+			panic(fmt.Sprintf("petri: empty frozen record for state %d", cur))
+		}
+		if rec[0] == frozenVerbatim {
+			v := make(Marking, s.places)
+			b := rec[1:]
+			for i := range v {
+				t, n := binary.Uvarint(b)
+				if n <= 0 {
+					panic(fmt.Sprintf("petri: corrupt verbatim record for state %d", cur))
+				}
+				v[i], b = int(t), b[n:]
+			}
+			fz.insert(cur, v)
+			if cur == id {
+				return v
+			}
+			base = v
+			break
+		}
+		b := rec[1:]
+		gap, n := binary.Uvarint(b)
+		if n <= 0 || gap == 0 || uint64(cur) < gap {
+			panic(fmt.Sprintf("petri: corrupt delta record for state %d", cur))
+		}
+		trans, n2 := binary.Uvarint(b[n:])
+		if n2 <= 0 || int(trans) >= len(fz.deltas) {
+			panic(fmt.Sprintf("petri: corrupt delta record for state %d", cur))
+		}
+		chain = append(chain, thawLink{id: cur, trans: int32(trans)})
+		cur -= MarkID(gap)
+	}
+	buf := make(Marking, s.places)
+	copy(buf, base)
+	for i := len(chain) - 1; i >= 0; i-- {
+		for _, d := range fz.deltas[chain[i].trans] {
+			buf[d.Place] += int(d.Delta)
+		}
+		if depth := len(chain) - 1 - i; i == 0 || depth%thawCacheStride == thawCacheStride-1 {
+			v := make(Marking, s.places)
+			copy(v, buf)
+			fz.insert(chain[i].id, v)
+			if i == 0 {
+				return v
+			}
+		}
+	}
+	return buf // unreachable: the i == 0 iteration above always returns
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package petri
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without syscall.Mmap read the segment via pread; the tier
+// flips to its fallback on the first (and only) mmap attempt.
+func mmapSegment(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("petri: mmap unsupported on this platform")
+}
+
+func munmapSegment(b []byte) {}

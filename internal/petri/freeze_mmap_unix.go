@@ -1,0 +1,23 @@
+//go:build unix
+
+package petri
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSegment maps [0, size) of the segment file read-only. A zero
+// size returns a nil mapping (nothing to read yet).
+func mmapSegment(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapSegment(b []byte) {
+	if len(b) != 0 {
+		syscall.Munmap(b)
+	}
+}

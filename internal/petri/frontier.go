@@ -48,6 +48,12 @@ type MergeHooks struct {
 	// Admit-refused ones (budget=true). Returning false aborts the
 	// whole exploration; RunFrontier then returns false.
 	Reject func(parent MarkID, trans int32, budget bool) bool
+	// LevelClosed is called after each level commits — every state
+	// below end has had all its edges recorded and will never be
+	// expanded again — and runs sequentially, between levels. The
+	// frozen-tier explorers use it to FreezeThrough(end); the final
+	// call has end == store.Len(). May be nil.
+	LevelClosed func(end int)
 }
 
 // FrontierHooks supplies the exploration-specific behaviour of a
@@ -276,6 +282,9 @@ func RunFrontier(store *MarkingStore, workers int, hooks FrontierHooks) bool {
 			}
 		}
 		begin(MarkID(levelEnd - 1))
+		if hooks.LevelClosed != nil {
+			hooks.LevelClosed(levelEnd)
+		}
 		levelStart = levelEnd
 	}
 	return true

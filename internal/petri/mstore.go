@@ -31,20 +31,23 @@ const (
 // place of the net). The zero value is not usable — construct with
 // NewMarkingStore.
 //
-// Concurrency: interning mutates the store and must be serialized by
-// the caller. Read-only use (At, Lookup, Len, All) is safe from any
-// number of goroutines once no more Intern calls occur — e.g. a
-// ReachResult.Store may be read concurrently after Explore returns.
-// The schedule-search engines keep one private store per search, so
-// the concurrent per-source searches of the PR-1 worker pool never
-// contend on one.
+// Concurrency: interning and FreezeThrough mutate the store and must be
+// serialized by the caller. Read-only use (At, Lookup, Len, All) is
+// safe from any number of goroutines once no more mutations occur —
+// e.g. a ReachResult.Store may be read concurrently after Explore
+// returns; At on a frozen id memoizes thawed vectors behind the tier's
+// own lock. The schedule-search engines keep one private store per
+// search, so the concurrent per-source searches of the PR-1 worker pool
+// never contend on one.
 type MarkingStore struct {
-	places  int
-	tokens  []int    // arena; marking id occupies tokens[id*places : (id+1)*places]
-	hashes  []uint64 // hash per interned marking, reused on growth
-	table   []uint32 // open addressing, entry = id+1, 0 = empty
-	mask    uint32
-	aliased bool // two distinct interned markings share a 64-bit hash
+	places    int
+	tokens    []int    // hot arena; id occupies tokens[(id-frozenEnd)*places:...] for id >= frozenEnd
+	hashes    []uint64 // hash per interned marking, reused on growth; never frozen
+	table     []uint32 // open addressing, entry = id+1, 0 = empty; never frozen
+	mask      uint32
+	aliased   bool        // two distinct interned markings share a 64-bit hash
+	frozenEnd int         // ids [0, frozenEnd) live in the frozen tier, not the arena
+	frozen    *frozenTier // nil until EnableFreeze (see freeze.go)
 }
 
 // NewMarkingStore returns an empty store for markings over the given
@@ -72,12 +75,18 @@ func (s *MarkingStore) Len() int { return len(s.hashes) }
 // Places returns the token-vector length the store was built for.
 func (s *MarkingStore) Places() int { return s.places }
 
-// At returns the interned marking as a read-only view into the store's
-// arena: callers must not mutate it. Views stay valid across later
-// Intern calls — growth retires the backing array but interned contents
-// never change — so it is safe to hold one across further interning.
+// At returns the interned marking as a read-only view: callers must not
+// mutate it. Hot ids resolve to a view into the store's arena; frozen
+// ids (below FrozenLen) are reconstructed on demand from the delta
+// segment, memoized by the tier's thaw cache. Either way the view stays
+// valid across later Intern and FreezeThrough calls — growth and
+// freezing retire backing arrays but never mutate retired contents — so
+// it is safe to hold one across further interning.
 func (s *MarkingStore) At(id MarkID) Marking {
-	i := int(id) * s.places
+	i := (int(id) - s.frozenEnd) * s.places
+	if i < 0 {
+		return s.frozen.thaw(s, id)
+	}
 	return Marking(s.tokens[i : i+s.places : i+s.places])
 }
 
@@ -216,17 +225,40 @@ func (s *MarkingStore) All() iter.Seq2[MarkID, Marking] {
 	}
 }
 
-// MemBytes estimates the store's memory footprint: arena, hash and
-// table backing arrays. Diagnostics only.
+// MemBytes estimates the store's resident memory footprint: hot arena,
+// hash, table and frozen-offset backing arrays at their capacities.
+// Diagnostics only — gates and cross-process comparison use Mem.
 func (s *MarkingStore) MemBytes() int {
-	return cap(s.tokens)*8 + cap(s.hashes)*8 + cap(s.table)*4
+	n := cap(s.tokens)*8 + cap(s.hashes)*8 + cap(s.table)*4
+	if s.frozen != nil {
+		n += cap(s.frozen.offs) * 8
+	}
+	return n
 }
 
-// ArenaBytes returns the store's live byte count: token arena, hashes
-// and probe table at their exact lengths, independent of append growth
-// policy. It is a pure function of the interned marking sequence, so
-// distributed memory accounting (the per-worker replica-size gate in
-// CI) can compare values across processes and machines byte-for-byte.
+// Mem is THE store-memory accounting: exact live byte counts at slice
+// lengths, independent of append growth policy. Both figures are pure
+// functions of the interned marking sequence and the frozen boundary,
+// so distributed memory accounting (the per-worker replica-size and
+// frozen-store gates in CI) can compare values across processes and
+// machines byte-for-byte. Every other store-size figure in the tree
+// (dist.WorkerMem.StoreBytes, the server's worker-memory gauge, search
+// stats) derives from this one method.
+func (s *MarkingStore) Mem() StoreMem {
+	m := StoreMem{
+		HotBytes: int64(len(s.tokens))*8 + int64(len(s.hashes))*8 + int64(len(s.table))*4,
+	}
+	if s.frozen != nil {
+		m.HotBytes += int64(len(s.frozen.offs)) * 8
+		m.FrozenBytes = s.frozen.size
+	}
+	return m
+}
+
+// ArenaBytes returns Mem().HotBytes — the store's live resident byte
+// count. For an all-hot store this is the historical arena+hashes+table
+// figure; with a frozen tier it excludes the evicted vectors (counted
+// in Mem().FrozenBytes) and includes the segment-offset table.
 func (s *MarkingStore) ArenaBytes() int {
-	return len(s.tokens)*8 + len(s.hashes)*8 + len(s.table)*4
+	return int(s.Mem().HotBytes)
 }

@@ -70,6 +70,15 @@ type ExploreOptions struct {
 	// request. Off by default: callers that want to observe the
 	// infrastructure failure (tests, pool health probes) see the error.
 	DistFallback bool
+	// FreezeLevels evicts the token vectors of closed BFS levels from
+	// the hot arena into an on-disk delta segment (see MarkingStore
+	// freeze.go), trading reconstruction cost on later reads for a hot
+	// footprint that no longer grows with the vectors of the explored
+	// space. The result is byte-identical either way — freezing happens
+	// strictly after dense MarkID assignment. Ignored by the
+	// DisableTracker ablation path; if the segment cannot be created or
+	// written the exploration silently continues all-hot.
+	FreezeLevels bool
 }
 
 // Explore performs a breadth-first bounded exploration from the initial
@@ -150,6 +159,12 @@ func newReachExplorer(n *Net, opt ExploreOptions) *reachExplorer {
 		}
 		e.fireMask[E.Index>>6] |= 1 << (uint(E.Index) & 63)
 	}
+	if opt.FreezeLevels {
+		if err := e.res.Store.EnableFreeze(FreezeConfig{Deltas: n.TokenDeltas()}); err == nil {
+			e.fwin = &FreezeWindow{}
+			e.fwin.Append(FreezeProv{Parent: NoMark}) // root: verbatim
+		}
+	}
 	return e
 }
 
@@ -165,6 +180,23 @@ type reachExplorer struct {
 	// bits[id*stride : (id+1)*stride].
 	bits     []uint64
 	fireMask []uint64
+	// fwin buffers per-state provenance for FreezeThrough when
+	// Options.FreezeLevels is active; nil otherwise.
+	fwin *FreezeWindow
+}
+
+// freezeTo evicts states below end into the store's frozen tier and
+// drops their buffered provenance. A write failure permanently reverts
+// the exploration to all-hot (already-frozen levels stay readable).
+func (e *reachExplorer) freezeTo(end int) {
+	if e.fwin == nil {
+		return
+	}
+	if err := e.res.Store.FreezeThrough(end, e.fwin.Prov); err != nil {
+		e.fwin = nil
+		return
+	}
+	e.fwin.Drop(end)
 }
 
 // overCap reports whether the marking exceeds the per-place token cap.
@@ -183,6 +215,9 @@ func (e *reachExplorer) overCap(m Marking) bool {
 // admitState grows the per-state side tables for a freshly interned id
 // and computes its enabled set from the parent's.
 func (e *reachExplorer) admitState(parent MarkID, trans int, m Marking) {
+	if e.fwin != nil {
+		e.fwin.Append(FreezeProv{Parent: parent, Trans: int32(trans)})
+	}
 	e.res.Edges = append(e.res.Edges, nil)
 	e.res.Clipped = append(e.res.Clipped, false)
 	base := len(e.bits)
@@ -209,7 +244,15 @@ func (e *reachExplorer) forEachFireable(set []uint64, fn func(E *ECS)) {
 func (e *reachExplorer) exploreSerial() {
 	var scratch Marking
 	parentBits := make([]uint64, e.stride)
+	levelEnd := e.res.Store.Len()
 	for qi := MarkID(0); int(qi) < e.res.Store.Len(); qi++ {
+		// The serial queue crosses a BFS level boundary exactly when qi
+		// reaches the store length observed at the previous boundary:
+		// every state below it is now fully expanded, i.e. closed.
+		if int(qi) == levelEnd {
+			e.freezeTo(levelEnd)
+			levelEnd = e.res.Store.Len()
+		}
 		m := e.res.Store.At(qi)
 		// admitState below appends to (and may move) e.bits; iterate a
 		// stable copy of this state's words.
@@ -236,6 +279,7 @@ func (e *reachExplorer) exploreSerial() {
 			}
 		})
 	}
+	e.freezeTo(e.res.Store.Len())
 }
 
 func (e *reachExplorer) exploreParallel() {
@@ -290,7 +334,21 @@ func (e *reachExplorer) mergeHooks() MergeHooks {
 			e.res.Clipped[parent] = true
 			return true
 		},
+		LevelClosed: e.levelClosed(),
 	}
+}
+
+// levelClosed returns the level-commit freeze hook, or nil when
+// freezing is off (so runners skip the call entirely). Note the
+// in-process RunFrontier path additionally keeps every vector hot in
+// its ShardedStore dedup structure for the run's duration, so its
+// savings are partial; the serial and distributed paths get the full
+// effect.
+func (e *reachExplorer) levelClosed() func(int) {
+	if e.fwin == nil {
+		return nil
+	}
+	return e.freezeTo
 }
 
 // exploreFullScan is the pre-tracker loop: every transition's enabling

@@ -56,6 +56,15 @@ type Options struct {
 	// to what the pool would have produced. Off by default so tests and
 	// health probes observe the infrastructure error.
 	DistFallback bool
+	// FreezeLevels makes the graph engine evict the token vectors of
+	// closed BFS levels from its marking store's hot arena into an
+	// on-disk delta segment (petri.MarkingStore freeze tier), so the hot
+	// footprint of huge explorations stops growing with the vectors.
+	// Schedules and generated code are byte-identical either way; the
+	// cost is reconstruction on later reads (schedule extraction,
+	// diagnostics). Tree engines ignore it — their DFS is not
+	// level-synchronous, so no level ever closes.
+	FreezeLevels bool
 	// Engine selects the search engine (default EngineGraph).
 	Engine Engine
 	// NoFallback disables the automatic exhaustive-tree retry after a
@@ -449,6 +458,7 @@ func (e *engine) enabledECS() []*petri.ECS {
 // retained leaf by merging it with the ancestor carrying its marking.
 func (e *engine) buildSchedule(root *treeNode) *Schedule {
 	e.stats.DistinctMarkings = e.store.Len()
+	e.stats.StoreHotBytes = e.store.Mem().HotBytes // tree stores never freeze
 	sched := &Schedule{Net: e.net, Source: e.source, Stats: e.stats}
 	nodeOf := map[*treeNode]*Node{}
 	var mk func(t *treeNode) *Node

@@ -130,6 +130,9 @@ type graphEngine struct {
 	states  []gstate
 	scratch petri.Marking // firing buffer reused across the whole search
 	over    bool
+	// fwin buffers per-state provenance for the store's frozen tier
+	// when Options.FreezeLevels is active; nil otherwise.
+	fwin *petri.FreezeWindow
 
 	// Incremental enablement (petri.EnabledTracker): bits is a flat
 	// arena of per-state enabled-ECS bitsets (stride words per state),
@@ -225,7 +228,26 @@ func newGraphEngine(n *petri.Net, source int, opt Options) *graphEngine {
 		}
 		ge.occDelta[t.ID] = int32(d)
 	}
+	if opt.FreezeLevels {
+		if err := ge.store.EnableFreeze(petri.FreezeConfig{Deltas: n.TokenDeltas()}); err == nil {
+			ge.fwin = &petri.FreezeWindow{}
+		}
+	}
 	return ge
+}
+
+// freezeTo evicts states below end into the store's frozen tier and
+// drops their buffered provenance; a write failure permanently reverts
+// the search to all-hot (already-frozen levels stay readable).
+func (ge *graphEngine) freezeTo(end int) {
+	if ge.fwin == nil {
+		return
+	}
+	if err := ge.store.FreezeThrough(end, ge.fwin.Prov); err != nil {
+		ge.fwin = nil
+		return
+	}
+	ge.fwin.Drop(end)
 }
 
 func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error) {
@@ -273,6 +295,9 @@ func findScheduleGraph(n *petri.Net, source int, opt Options) (*Schedule, error)
 // with a full partition scan — the only full scan of the search.
 func (ge *graphEngine) internRoot(m petri.Marking) int {
 	id, _ := ge.store.Intern(m)
+	if ge.fwin != nil {
+		ge.fwin.Append(petri.FreezeProv{Parent: petri.NoMark}) // root: verbatim
+	}
 	ge.states = append(ge.states, gstate{rank: -1, occ: int32(ge.occupancy(m))})
 	base := len(ge.bits)
 	for i := 0; i < ge.stride; i++ {
@@ -304,6 +329,9 @@ func (ge *graphEngine) intern(m petri.Marking, parent, trans int) int {
 // enabled set are both deltas off the parent: O(1) plus the few ECSs
 // the firing touched, instead of a full marking/partition scan.
 func (ge *graphEngine) admitState(parent, trans int, m petri.Marking) {
+	if ge.fwin != nil {
+		ge.fwin.Append(petri.FreezeProv{Parent: petri.MarkID(parent), Trans: int32(trans)})
+	}
 	ge.states = append(ge.states, gstate{rank: -1, occ: ge.states[parent].occ + ge.occDelta[trans]})
 	base := len(ge.bits)
 	for i := 0; i < ge.stride; i++ {
@@ -356,7 +384,15 @@ func (ge *graphEngine) forEachAllowedEnabled(set []uint64, fn func(E *petri.ECS)
 // so the per-fired-transition cost is hash + probe with no allocation
 // (arena growth amortizes).
 func (ge *graphEngine) explore() {
+	levelEnd := len(ge.states)
 	for qi := 0; qi < len(ge.states) && !ge.over; qi++ {
+		// The serial queue crosses a BFS level boundary exactly when qi
+		// reaches the state count observed at the previous boundary:
+		// every state below it is fully expanded, i.e. closed.
+		if qi == levelEnd {
+			ge.freezeTo(levelEnd)
+			levelEnd = len(ge.states)
+		}
 		// ge.states and ge.bits may be appended to (and moved) by intern
 		// below, so iterate a stable copy of this state's bitset and
 		// take the element pointer only when writing; the marking view
@@ -392,6 +428,7 @@ func (ge *graphEngine) explore() {
 		s := &ge.states[qi]
 		s.ecsStart, s.ecsEnd = int32(start), int32(len(ge.ecsArena))
 	}
+	ge.freezeTo(ge.store.Len())
 }
 
 // mergeHooks builds the sequential phase-C hooks writing the engine
@@ -449,6 +486,9 @@ func (ge *graphEngine) mergeHooks() (hooks petri.MergeHooks, finish func()) {
 			advance(-1)
 			return true
 		},
+	}
+	if ge.fwin != nil {
+		hooks.LevelClosed = ge.freezeTo
 	}
 	return hooks, finish
 }
@@ -808,7 +848,13 @@ func (ge *graphEngine) choose(s *gstate) int {
 // build emits the schedule induced by σ from the root.
 func (ge *graphEngine) build(rootID int) *Schedule {
 	s := &Schedule{Net: ge.net, Source: ge.source}
-	s.Stats = SearchStats{NodesCreated: len(ge.states), DistinctMarkings: ge.store.Len()}
+	mem := ge.store.Mem()
+	s.Stats = SearchStats{
+		NodesCreated:     len(ge.states),
+		DistinctMarkings: ge.store.Len(),
+		StoreHotBytes:    mem.HotBytes,
+		StoreFrozenBytes: mem.FrozenBytes,
+	}
 	nodeOf := map[int]*Node{}
 	var mk func(id int) *Node
 	mk = func(id int) *Node {

@@ -64,6 +64,13 @@ type SearchStats struct {
 	// for the tree engines the gap NodesCreated-DistinctMarkings measures
 	// how much interleaving re-exploration the graph engine avoids.
 	DistinctMarkings int
+	// StoreHotBytes/StoreFrozenBytes split the search store's exact live
+	// footprint (petri.MarkingStore.Mem) between resident memory and the
+	// frozen on-disk delta segment. FrozenBytes is 0 unless
+	// Options.FreezeLevels was active; both are pure functions of the
+	// interned marking sequence, so they compare across machines.
+	StoreHotBytes    int64
+	StoreFrozenBytes int64
 	UsedTInv         bool // whether the T-invariant heuristic was active
 }
 

@@ -162,14 +162,20 @@ func buildResponse(res *core.Result, opt *core.Options, hit bool, elapsed time.D
 }
 
 // recordWork folds a successful synthesis into the work metrics:
-// distinct markings explored, and — when the request ran on the dist
-// pool — the per-worker replica bytes of the session.
+// distinct markings explored, the hot/frozen store residency of the
+// request's searches, and — when the request ran on the dist pool —
+// the per-worker replica bytes of the session.
 func (s *Server) recordWork(res *core.Result, opt *core.Options) {
 	states := 0
+	var hot, frozen int64
 	for _, sc := range res.Schedules {
 		states += sc.Stats.DistinctMarkings
+		hot += sc.Stats.StoreHotBytes
+		frozen += sc.Stats.StoreFrozenBytes
 	}
 	s.metrics.addCounter(&s.metrics.statesExplored, float64(states))
+	s.metrics.setGauge(&s.metrics.storeHotBytes, float64(hot))
+	s.metrics.setGauge(&s.metrics.storeFrozenBytes, float64(frozen))
 	if opt.Dist != nil {
 		for i, wm := range opt.Dist.LastSessionStats().Workers {
 			s.metrics.setLabeledGauge(s.metrics.distWorkerMem, fmt.Sprintf("%d", i),

@@ -79,6 +79,8 @@ func TestMetricsTextFormat(t *testing.T) {
 		"qss_inflight 0",
 		"qss_ready 0",
 		"qss_states_explored_total 0",
+		"qss_store_hot_bytes 0",
+		"qss_store_frozen_bytes 0",
 		"qss_panics_total 0",
 		"qss_dist_workers 0",
 		"qss_dist_worker_restarts_total 0",

@@ -71,6 +71,11 @@ type Config struct {
 	// takes ownership: requests reuse it session after session, and
 	// Drain closes it exactly once.
 	Pool *dist.Pool
+	// FreezeLevels freezes closed exploration levels to on-disk delta
+	// segments for every request (petri.ExploreOptions.FreezeLevels),
+	// bounding the hot store's growth at the price of thaw reads.
+	// Results are byte-identical either way.
+	FreezeLevels bool
 	// Log receives operational one-liners; nil uses the stdlib default
 	// logger.
 	Log *log.Logger
@@ -363,7 +368,7 @@ func defaultSynthesize(ctx context.Context, req *synthesizeRequest, opt *core.Op
 // requestOptions translates one request's budgets into core options,
 // clamping against the server caps.
 func (s *Server) requestOptions(req *synthesizeRequest) (*core.Options, time.Duration) {
-	opt := &core.Options{DisableCache: req.DisableCache}
+	opt := &core.Options{DisableCache: req.DisableCache, FreezeLevels: s.cfg.FreezeLevels}
 	opt.MaxNodes = s.cfg.MaxNodes
 	if req.MaxNodes > 0 && req.MaxNodes < opt.MaxNodes {
 		opt.MaxNodes = req.MaxNodes

@@ -467,3 +467,54 @@ func TestResponseMatchesCLI(t *testing.T) {
 		}
 	}
 }
+
+// TestFreezeLevelsServer: a server configured with FreezeLevels
+// produces code byte-identical to an all-hot run and exports the
+// store-residency gauges — frozen bytes nonzero, hot bytes nonzero —
+// after a successful synthesis.
+func TestFreezeLevelsServer(t *testing.T) {
+	core.ResetCache()
+	want, err := core.Synthesize(apps.MultiRate, apps.MultiRateSpec, &core.Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{FreezeLevels: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, got, _ := postSynth(t, ts.URL, &synthesizeRequest{FlowC: apps.MultiRate, Net: apps.MultiRateSpec, DisableCache: true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	for name, code := range want.Code {
+		if got.Code[name] != code {
+			t.Errorf("task %s differs from the all-hot library path", name)
+		}
+	}
+
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, g := range []string{"qss_store_hot_bytes", "qss_store_frozen_bytes"} {
+		v, ok := scrapeGauge(body, g)
+		if !ok {
+			t.Fatalf("metrics missing %s:\n%s", g, body)
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0 with FreezeLevels on", g, v)
+		}
+	}
+}
+
+// scrapeGauge pulls one unlabelled sample value out of a rendered
+// /metrics body.
+func scrapeGauge(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil && strings.HasPrefix(line, name+" ") {
+			return v, true
+		}
+	}
+	return 0, false
+}
