@@ -28,9 +28,18 @@
 #                      exercise /healthz, /readyz, /metrics and a real
 #                      /v1/synthesize whose returned C must be
 #                      byte-identical to the golden files
+#   make pnml-suite  — the PNML conformance matrix: every vendored
+#                      interchange net under internal/pnml/testdata
+#                      explored serial / parallel-frontier / spawned
+#                      worker processes / frozen store, asserting
+#                      byte-identical ReachResult fingerprints, plus
+#                      the round-trip fixed point and the corpus
+#                      export-reach property
 #   make bench       — every benchmark once (shape assertions, no timing)
 #   make benchgate   — benchmark-regression gate vs bench_baseline.json
-#   make fuzz-smoke  — short-budget fuzz pass over both fuzz targets
+#   make fuzz-smoke  — short-budget fuzz pass over all fuzz targets
+#   make coverage    — race tests with a coverage profile; prints
+#                      per-package totals and writes coverage.out
 #   make baseline    — refresh bench_baseline.json on this machine
 
 GO ?= go
@@ -38,9 +47,13 @@ FUZZTIME ?= 5s
 BENCH_TOLERANCE ?= 0.20
 BENCH_ALLOC_TOLERANCE ?= 0.20
 
-.PHONY: ci build vet test dist-matrix dist-memory dist-chaos store-frozen server-smoke bench benchgate baseline fuzz-smoke
+.PHONY: ci build vet test dist-matrix dist-memory dist-chaos store-frozen server-smoke pnml-suite bench benchgate baseline fuzz-smoke coverage
 
-ci: build vet test server-smoke bench benchgate fuzz-smoke
+ci: build vet test server-smoke pnml-suite bench benchgate fuzz-smoke
+
+pnml-suite:
+	$(GO) test -race -count=1 -v -run 'TestPNMLSuite|TestPNMLRoundTrip' ./internal/pnml
+	$(GO) test -race -count=1 -v -run 'TestCorpusExportReach' ./internal/corpus
 
 dist-matrix:
 	$(GO) test -race -count=1 -v -run 'TestDeterminismMatrix|TestReachMatrix|TestCorpusSweepDist|TestCorpusSweepFrozen' ./internal/dist
@@ -79,3 +92,8 @@ baseline:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/flowc
 	$(GO) test -run='^$$' -fuzz=FuzzExplore -fuzztime=$(FUZZTIME) ./internal/petri
+	$(GO) test -run='^$$' -fuzz=FuzzPNMLParse -fuzztime=$(FUZZTIME) ./internal/pnml
+
+coverage:
+	$(GO) test -race -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1

@@ -7,6 +7,9 @@
 //	qssbatch [-n apps] [-seed N] [-workers N] [-explore-workers N]
 //	         [-dist-workers N] [-dist-endpoint ep] [-freeze-levels]
 //	         [-compare] [-cpuprofile f] [-memprofile f] [shape flags] [-v]
+//	qssbatch -pnml net.pnml [-pnml ...] [-pnml-max-markings N]
+//	         [-pnml-max-tokens N] [exploration flags] [-v]
+//	qssbatch -emit-pnml dir [-n apps] [-seed N] [shape flags]
 //
 // -workers bounds the number of concurrent app syntheses (0 =
 // GOMAXPROCS); -explore-workers additionally parallelizes each
@@ -27,10 +30,25 @@
 // regressions can be diagnosed without editing source. Shape flags
 // mirror corpus.Config; see internal/corpus.
 //
+// -pnml switches to interchange-net analysis: each named PNML document
+// (ISO/IEC 15909-2 P/T subset, see internal/pnml and docs/PNML.md) is
+// imported and explored — reachable states, deadlocks, place bounds
+// and a fingerprint for cross-configuration comparison — instead of
+// generating a corpus. The exploration flags (-explore-workers,
+// -dist-workers, -dist-endpoint, -dist-full-replicas, -freeze-levels)
+// compose with -pnml exactly as they do with synthesis; corpus-shape
+// and synthesis flags do not and are rejected. -pnml-max-markings and
+// -pnml-max-tokens bound the exploration (imported nets may be
+// unbounded; a truncated report is the unboundedness witness).
+//
+// -emit-pnml generates the corpus and writes each app's linked system
+// net as a PNML document into the given directory — the interchange
+// producer side — without synthesizing schedules.
+//
 // Contradictory flag combinations (negative counts, -dist-endpoint
 // without -dist-workers, -dist-workers together with -explore-workers
-// parallelism) are rejected with a usage error rather than silently
-// clamped.
+// parallelism, -pnml with corpus flags) are rejected with a usage
+// error rather than silently clamped.
 package main
 
 import (
@@ -38,11 +56,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dist"
+	"repro/internal/pnml"
 	"repro/internal/profiling"
 )
 
@@ -54,7 +75,19 @@ func main() {
 	os.Exit(realMain())
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 // batchFlags holds the scalar flags that need cross-validation.
+// explicit records which flags the user actually set (from flag.Visit)
+// so mode conflicts distinguish "passed -n" from "-n at its default".
 type batchFlags struct {
 	n                int
 	workers          int
@@ -62,6 +95,26 @@ type batchFlags struct {
 	distWorkers      int
 	distEndpoint     string
 	distFullReplicas bool
+	pnml             multiFlag
+	pnmlMaxMarkings  int
+	pnmlMaxTokens    int
+	emitPNML         string
+	explicit         map[string]bool
+}
+
+// corpusOnlyFlags have no meaning when -pnml switches the command to
+// interchange-net analysis: the corpus shape, the app-level pool and
+// the synthesis comparison all presuppose generated FlowC apps.
+var corpusOnlyFlags = []string{
+	"n", "seed", "workers", "compare", "emit-pnml",
+	"pipelines", "stages", "fanout", "ops", "width", "choice", "select", "bounds",
+}
+
+// exploreFlags configure state-space exploration; -emit-pnml never
+// explores, so combining them is a mistake worth flagging.
+var exploreFlags = []string{
+	"compare", "explore-workers", "dist-workers", "dist-endpoint",
+	"dist-full-replicas", "freeze-levels",
 }
 
 // validate rejects contradictory or out-of-range combinations with a
@@ -82,6 +135,30 @@ func (f *batchFlags) validate() error {
 		return fmt.Errorf("-dist-workers and -explore-workers > 1 are contradictory: pick in-process or cross-process exploration")
 	case f.distFullReplicas && f.distWorkers == 0:
 		return fmt.Errorf("-dist-full-replicas requires -dist-workers >= 1 (it selects the worker replica mode)")
+	case f.pnmlMaxMarkings < 0:
+		return fmt.Errorf("-pnml-max-markings must be >= 0 (0 = the explorer's default), got %d", f.pnmlMaxMarkings)
+	case f.pnmlMaxTokens < 0:
+		return fmt.Errorf("-pnml-max-tokens must be >= 0 (0 = no cap), got %d", f.pnmlMaxTokens)
+	}
+	if len(f.pnml) > 0 {
+		for _, name := range corpusOnlyFlags {
+			if f.explicit[name] {
+				return fmt.Errorf("-pnml analyzes interchange nets, not a generated corpus: -%s does not apply", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"pnml-max-markings", "pnml-max-tokens"} {
+			if f.explicit[name] {
+				return fmt.Errorf("-%s requires -pnml (it bounds the interchange-net exploration)", name)
+			}
+		}
+	}
+	if f.emitPNML != "" {
+		for _, name := range exploreFlags {
+			if f.explicit[name] {
+				return fmt.Errorf("-emit-pnml only generates and exports nets, it never explores: -%s does not apply", name)
+			}
+		}
 	}
 	return nil
 }
@@ -99,7 +176,11 @@ func realMain() (code int) {
 	compare := flag.Bool("compare", false, "also run the serial baseline and report the speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	verbose := flag.Bool("v", false, "print one line per app")
+	verbose := flag.Bool("v", false, "print one line per app (with -pnml: per-place bounds)")
+	flag.Var(&bf.pnml, "pnml", "analyze this PNML net instead of a corpus (repeatable)")
+	flag.IntVar(&bf.pnmlMaxMarkings, "pnml-max-markings", 0, "marking budget for -pnml exploration (0 = the explorer's default)")
+	flag.IntVar(&bf.pnmlMaxTokens, "pnml-max-tokens", 0, "per-place token cap for -pnml exploration (0 = none; required for unbounded nets)")
+	flag.StringVar(&bf.emitPNML, "emit-pnml", "", "write each corpus app's system net as PNML into this directory and exit")
 
 	cfg := corpus.DefaultConfig()
 	flag.IntVar(&cfg.MaxPipelines, "pipelines", cfg.MaxPipelines, "max pipelines (tasks) per app")
@@ -112,11 +193,34 @@ func realMain() (code int) {
 	flag.Float64Var(&cfg.BoundDensity, "bounds", cfg.BoundDensity, "explicit channel bound probability")
 	flag.Parse()
 
+	bf.explicit = map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { bf.explicit[f.Name] = true })
 	if err := bf.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "qssbatch:", err)
 		flag.Usage()
 		return 2
 	}
+
+	if len(bf.pnml) > 0 {
+		stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qssbatch:", err)
+			return 2
+		}
+		defer func() {
+			if err := stopProfiles(); err != nil {
+				fmt.Fprintln(os.Stderr, "qssbatch:", err)
+				if code == 0 {
+					code = 2
+				}
+			}
+		}()
+		return runPNML(&bf, *freezeLevels, *verbose)
+	}
+	if bf.emitPNML != "" {
+		return emitCorpusPNML(bf.emitPNML, *seed, bf.n, cfg)
+	}
+
 	apps := corpus.GenerateCorpus(*seed, bf.n, cfg)
 	procs := 0
 	for _, a := range apps {
@@ -226,4 +330,95 @@ func sumNodes(r *core.Result) int {
 		n += s.Stats.NodesCreated
 	}
 	return n
+}
+
+// runPNML analyzes each named interchange net: reachable states,
+// deadlocks, place bounds and the cross-configuration fingerprint.
+// One dist pool (when requested) is shared across all files, like the
+// corpus batch shares its pool across apps.
+func runPNML(bf *batchFlags, freeze, verbose bool) int {
+	opt := pnml.AnalyzeOptions{
+		MaxMarkings:       bf.pnmlMaxMarkings,
+		MaxTokensPerPlace: bf.pnmlMaxTokens,
+		Workers:           bf.exploreWorkers,
+		FreezeLevels:      freeze,
+	}
+	if bf.distWorkers > 0 {
+		if freeze {
+			// Spawned workers inherit the environment; externally
+			// started qssd workers take -freeze-levels themselves.
+			os.Setenv(dist.EnvFreeze, "1")
+		}
+		var (
+			pool *dist.Pool
+			err  error
+		)
+		if bf.distEndpoint != "" {
+			fmt.Printf("awaiting %d qssd worker(s) at %s\n", bf.distWorkers, bf.distEndpoint)
+			pool, err = dist.Listen(bf.distEndpoint, bf.distWorkers)
+		} else {
+			pool, err = dist.SpawnLocal(bf.distWorkers)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qssbatch:", err)
+			return 1
+		}
+		defer pool.Close()
+		if bf.distFullReplicas {
+			pool.SetFullReplicas(true)
+		}
+		opt.Dist = pool
+	}
+	code := 0
+	for i, path := range bf.pnml {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s ==\n", path)
+		a, err := pnml.AnalyzeFile(path, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qssbatch:", err)
+			code = 1
+			continue
+		}
+		a.Report(os.Stdout, verbose)
+	}
+	return code
+}
+
+// emitCorpusPNML generates the corpus and exports each app's linked
+// system net as a PNML document — the producer side of the
+// interchange, so other tools (or a later qssbatch -pnml run) can
+// consume the same nets.
+func emitCorpusPNML(dir string, seed int64, n int, cfg corpus.Config) int {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "qssbatch:", err)
+		return 1
+	}
+	apps := corpus.GenerateCorpus(seed, n, cfg)
+	for _, app := range apps {
+		net, err := core.SystemNet(app.FlowC, app.Spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qssbatch: %s: %v\n", app.Name, err)
+			return 1
+		}
+		path := filepath.Join(dir, app.Name+".pnml")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qssbatch:", err)
+			return 1
+		}
+		if err := pnml.Export(f, net); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qssbatch: %s: %v\n", path, err)
+			return 1
+		}
+		fmt.Printf("  %-8s -> %s (%d places, %d transitions)\n", app.Name, path, len(net.Places), len(net.Transitions))
+	}
+	fmt.Printf("exported %d nets to %s (seed %d)\n", len(apps), dir, seed)
+	return 0
 }

@@ -38,3 +38,65 @@ func TestBatchFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchPNMLFlagValidation: -pnml switches modes, so corpus flags
+// are rejected when explicitly set, exploration flags compose, and the
+// -pnml-only caps require -pnml. The explicit map mirrors what
+// flag.Visit records after Parse.
+func TestBatchPNMLFlagValidation(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		f       batchFlags
+		wantErr bool
+	}{
+		{name: "pnml", f: batchFlags{pnml: multiFlag{"net.pnml"}, explicit: set("pnml")}},
+		{name: "pnml-two-files", f: batchFlags{pnml: multiFlag{"a.pnml", "b.pnml"}, explicit: set("pnml")}},
+		{name: "pnml-with-caps", f: batchFlags{pnml: multiFlag{"net.pnml"}, pnmlMaxMarkings: 5000, pnmlMaxTokens: 4,
+			explicit: set("pnml", "pnml-max-markings", "pnml-max-tokens")}},
+		{name: "pnml-with-dist", f: batchFlags{pnml: multiFlag{"net.pnml"}, distWorkers: 2,
+			explicit: set("pnml", "dist-workers")}},
+		{name: "pnml-with-explore-workers", f: batchFlags{pnml: multiFlag{"net.pnml"}, exploreWorkers: 4,
+			explicit: set("pnml", "explore-workers")}},
+		{name: "pnml-with-freeze", f: batchFlags{pnml: multiFlag{"net.pnml"},
+			explicit: set("pnml", "freeze-levels")}},
+		{name: "emit-pnml", f: batchFlags{n: 10, emitPNML: "/tmp/out", explicit: set("n", "emit-pnml")}},
+
+		{name: "pnml-vs-n", f: batchFlags{pnml: multiFlag{"net.pnml"}, n: 5,
+			explicit: set("pnml", "n")}, wantErr: true},
+		{name: "pnml-vs-seed", f: batchFlags{pnml: multiFlag{"net.pnml"},
+			explicit: set("pnml", "seed")}, wantErr: true},
+		{name: "pnml-vs-shape", f: batchFlags{pnml: multiFlag{"net.pnml"},
+			explicit: set("pnml", "stages")}, wantErr: true},
+		{name: "pnml-vs-compare", f: batchFlags{pnml: multiFlag{"net.pnml"},
+			explicit: set("pnml", "compare")}, wantErr: true},
+		{name: "pnml-vs-emit-pnml", f: batchFlags{pnml: multiFlag{"net.pnml"}, emitPNML: "/tmp/out",
+			explicit: set("pnml", "emit-pnml")}, wantErr: true},
+		{name: "pnml-vs-workers", f: batchFlags{pnml: multiFlag{"net.pnml"}, workers: 4,
+			explicit: set("pnml", "workers")}, wantErr: true},
+		{name: "caps-without-pnml", f: batchFlags{pnmlMaxTokens: 4,
+			explicit: set("pnml-max-tokens")}, wantErr: true},
+		{name: "negative-max-markings", f: batchFlags{pnml: multiFlag{"net.pnml"}, pnmlMaxMarkings: -1,
+			explicit: set("pnml", "pnml-max-markings")}, wantErr: true},
+		{name: "negative-max-tokens", f: batchFlags{pnml: multiFlag{"net.pnml"}, pnmlMaxTokens: -1,
+			explicit: set("pnml", "pnml-max-tokens")}, wantErr: true},
+		{name: "pnml-both-strategies", f: batchFlags{pnml: multiFlag{"net.pnml"}, distWorkers: 2, exploreWorkers: 4,
+			explicit: set("pnml", "dist-workers", "explore-workers")}, wantErr: true},
+		{name: "emit-pnml-vs-dist", f: batchFlags{emitPNML: "/tmp/out", distWorkers: 2,
+			explicit: set("emit-pnml", "dist-workers")}, wantErr: true},
+		{name: "emit-pnml-vs-compare", f: batchFlags{emitPNML: "/tmp/out",
+			explicit: set("emit-pnml", "compare")}, wantErr: true},
+	}
+	for _, c := range cases {
+		err := c.f.validate()
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validate() err = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}

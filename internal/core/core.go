@@ -204,6 +204,37 @@ func SynthesizeSystem(f *flowc.File, spec *link.Spec, opt *Options) (*Result, er
 	return SynthesizeSystemContext(context.Background(), f, spec, opt)
 }
 
+// SystemNet parses, checks, compiles and links the sources and returns
+// the linked system net without running the schedule search — the front
+// half of the flow, for callers that only need the net itself (the
+// corpus PNML exporter, structural analyses).
+func SystemNet(flowcSrc, specSrc string) (*petri.Net, error) {
+	f, err := flowc.ParseFile(flowcSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse FlowC: %w", err)
+	}
+	spec, err := link.ParseSpec(strings.NewReader(specSrc))
+	if err != nil {
+		return nil, fmt.Errorf("core: parse netlist: %w", err)
+	}
+	if err := flowc.CheckFile(f); err != nil {
+		return nil, fmt.Errorf("core: check: %w", err)
+	}
+	procs := make([]*compile.CompiledProcess, 0, len(f.Processes))
+	for _, p := range f.Processes {
+		cp, err := compile.CompileProcess(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile: %w", err)
+		}
+		procs = append(procs, cp)
+	}
+	sys, err := link.Link(procs, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return sys.Net, nil
+}
+
 // SynthesizeSystemContext runs the flow on parsed inputs with
 // cancellation. The per-source schedule searches run on a bounded
 // worker pool (see Options.Workers); the first search error cancels the

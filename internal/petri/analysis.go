@@ -169,6 +169,25 @@ func (n *Net) BackwardReachableTransitions(seeds []int) map[int]bool {
 	return seen
 }
 
+// PlaceBounds returns, per place, the maximum token count observed over
+// every marking retained by the exploration. When the exploration ran
+// to completion (r.Truncated false) these are the exact bounds of the
+// explored fragment — for a net explored from its initial marking with
+// all transitions fireable, the guaranteed place bounds; when it was
+// truncated they are lower bounds only. Frozen markings are thawed
+// transparently through the store.
+func (r *ReachResult) PlaceBounds() []int {
+	bounds := make([]int, r.Store.Places())
+	for _, m := range r.Store.All() {
+		for p, v := range m {
+			if v > bounds[p] {
+				bounds[p] = v
+			}
+		}
+	}
+	return bounds
+}
+
 // UncontrollableSources returns the IDs of all uncontrollable source
 // transitions, ascending. One schedule (task) is generated per entry.
 func (n *Net) UncontrollableSources() []int {

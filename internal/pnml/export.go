@@ -1,0 +1,104 @@
+package pnml
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Export renders the net as canonical PNML (P/T grammar). The output is
+// deterministic: ids are index-derived (p0..., t0..., a0...), arcs are
+// emitted per transition — preset then postset, each sorted by place —
+// and names are escaped verbatim. The FlowC-specific annotations a
+// petri.Net may carry (place kinds and bounds, process ownership,
+// transition kinds and code payloads) have no P/T representation and
+// are dropped; what is kept — structure, weights, initial marking — is
+// exactly what the exploration engines read, so an exported net
+// explores identically to its source (see TestCorpusExportReach).
+//
+// Export followed by Parse followed by Export is a byte-for-byte fixed
+// point, pinned by the round-trip tests and the fuzz harness.
+func Export(w io.Writer, n *petri.Net) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, `<?xml version="1.0" encoding="UTF-8"?>`)
+	fmt.Fprintln(bw, `<pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">`)
+	fmt.Fprintln(bw, `  <net id="net0" type="http://www.pnml.org/version-2009/grammar/ptnet">`)
+	// Empty names normalize exactly like Parse's fallbacks ("pnml" for
+	// the net, the node id for places and transitions), which is what
+	// keeps export -> import -> export a fixed point for every input.
+	netName := n.Name
+	if netName == "" {
+		netName = "pnml"
+	}
+	fmt.Fprintf(bw, "    <name><text>%s</text></name>\n", escape(netName))
+	fmt.Fprintln(bw, `    <page id="page0">`)
+	for i, p := range n.Places {
+		fmt.Fprintf(bw, `      <place id="p%d">`, i)
+		fmt.Fprintf(bw, "<name><text>%s</text></name>", escape(nonEmpty(p.Name, fmt.Sprintf("p%d", i))))
+		if p.Initial != 0 {
+			fmt.Fprintf(bw, "<initialMarking><text>%d</text></initialMarking>", p.Initial)
+		}
+		fmt.Fprintln(bw, "</place>")
+	}
+	for i, t := range n.Transitions {
+		fmt.Fprintf(bw, `      <transition id="t%d">`, i)
+		fmt.Fprintf(bw, "<name><text>%s</text></name>", escape(nonEmpty(t.Name, fmt.Sprintf("t%d", i))))
+		fmt.Fprintln(bw, "</transition>")
+	}
+	arcID := 0
+	emit := func(src, dst string, weight int) {
+		fmt.Fprintf(bw, `      <arc id="a%d" source="%s" target="%s">`, arcID, src, dst)
+		if weight != 1 {
+			fmt.Fprintf(bw, "<inscription><text>%d</text></inscription>", weight)
+		}
+		fmt.Fprintln(bw, "</arc>")
+		arcID++
+	}
+	for ti, t := range n.Transitions {
+		in := append([]petri.Arc(nil), t.In...)
+		sort.Slice(in, func(i, j int) bool { return in[i].Place < in[j].Place })
+		for _, a := range in {
+			emit(fmt.Sprintf("p%d", a.Place), fmt.Sprintf("t%d", ti), a.Weight)
+		}
+		out := append([]petri.Arc(nil), t.Out...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Place < out[j].Place })
+		for _, a := range out {
+			emit(fmt.Sprintf("t%d", ti), fmt.Sprintf("p%d", a.Place), a.Weight)
+		}
+	}
+	fmt.Fprintln(bw, `    </page>`)
+	fmt.Fprintln(bw, `  </net>`)
+	fmt.Fprintln(bw, `</pnml>`)
+	return bw.Flush()
+}
+
+// ExportBytes is Export into a byte slice.
+func ExportBytes(n *petri.Net) ([]byte, error) {
+	var sb strings.Builder
+	if err := Export(&sb, n); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+// nonEmpty returns s, or fallback when s is empty.
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// escape renders s as XML character data.
+func escape(s string) string {
+	var sb strings.Builder
+	// EscapeText only fails on a failing writer; strings.Builder never
+	// fails.
+	_ = xml.EscapeText(&sb, []byte(s))
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package pnml
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzPNMLParse drives arbitrary bytes through the importer. The
+// properties: Parse never panics; an accepted document yields a net
+// that validates, exports, and reimports; and export -> import ->
+// export is a fixed point even for nets the fuzzer invents. Runs in CI
+// via `make fuzz-smoke` alongside the FlowC and explorer fuzzers.
+func FuzzPNMLParse(f *testing.F) {
+	fixtures, _ := filepath.Glob(filepath.Join("testdata", "suite", "*.pnml"))
+	for _, fix := range fixtures {
+		if b, err := os.ReadFile(fix); err == nil {
+			f.Add(b)
+		}
+	}
+	for _, s := range []string{
+		``,
+		`<pnml><net id="n" type="ptnet"><place id="p"/><transition id="t"/><arc id="a" source="p" target="t"/></net></pnml>`,
+		`<pnml><net id="n" type="ptnet"><place id="p"><initialMarking><text>7</text></initialMarking></place></net></pnml>`,
+		`<pnml><net id="n" type="ptnet"><page><page><place id="p"/></page></page></net></pnml>`,
+		`<pnml><net id="n" type="ptnet"><arc id="a" source="x" target="y"/></net></pnml>`,
+		`<pnml><net id="n" type="ptnet"><place id="p"><name>bare</name></place></net></pnml>`,
+		`<pnml><net id="n"`,
+		`<pnml><net id="n" type="symmetricnet"></net></pnml>`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := ParseBytes(data)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("accepted net fails Validate: %v", err)
+		}
+		b1, err := ExportBytes(n)
+		if err != nil {
+			t.Fatalf("export of accepted net failed: %v", err)
+		}
+		n2, err := ParseBytes(b1)
+		if err != nil {
+			t.Fatalf("reimport of exported net failed: %v\n%s", err, b1)
+		}
+		b2, err := ExportBytes(n2)
+		if err != nil {
+			t.Fatalf("re-export failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("export -> import -> export not a fixed point:\n-- first --\n%s\n-- second --\n%s", b1, b2)
+		}
+	})
+}

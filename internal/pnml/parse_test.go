@@ -1,0 +1,201 @@
+package pnml
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+)
+
+// parseFixture loads one vendored suite net.
+func parseFixture(t *testing.T, name string) *petri.Net {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "suite", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ParseBytes(b)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return n
+}
+
+// TestParseFixtureShapes: the vendored nets import with the exact
+// place/transition counts their structures define, in document order,
+// with names taken from the <name> labels.
+func TestParseFixtureShapes(t *testing.T) {
+	cases := []struct {
+		file          string
+		places, trans int
+		name          string
+	}{
+		{"philosophers-4.pnml", 16, 12, "philosophers-4"},
+		{"kanban-2.pnml", 16, 16, "kanban-2"},
+		{"token-ring-5.pnml", 20, 20, "token-ring-5"},
+		{"swimming-pool.pnml", 8, 6, "swimming-pool"},
+		{"producer-consumer-32.pnml", 6, 4, "producer-consumer-32"},
+		{"choice-chain-24.pnml", 25, 49, "choice-chain-24"},
+		{"unbounded-counter.pnml", 2, 3, "unbounded-counter"},
+		{"multirate-burst.pnml", 3, 5, "multirate-burst"},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			n := parseFixture(t, c.file)
+			if n.Name != c.name {
+				t.Errorf("net name %q, want %q", n.Name, c.name)
+			}
+			if len(n.Places) != c.places || len(n.Transitions) != c.trans {
+				t.Errorf("shape %dP/%dT, want %dP/%dT",
+					len(n.Places), len(n.Transitions), c.places, c.trans)
+			}
+			if err := n.Validate(); err != nil {
+				t.Errorf("imported net invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseNestedPageOrder: places declared inside a nested <page> keep
+// document order — the swimming-pool resources page comes first.
+func TestParseNestedPageOrder(t *testing.T) {
+	n := parseFixture(t, "swimming-pool.pnml")
+	want := []string{"out", "cabins", "bags", "entered"}
+	for i, w := range want {
+		if n.Places[i].Name != w {
+			t.Fatalf("place %d = %q, want %q (document order lost)", i, n.Places[i].Name, w)
+		}
+	}
+	if n.Places[0].Initial != 6 || n.Places[1].Initial != 2 || n.Places[2].Initial != 3 {
+		t.Fatalf("resource markings = %d/%d/%d, want 6/2/3",
+			n.Places[0].Initial, n.Places[1].Initial, n.Places[2].Initial)
+	}
+}
+
+// TestAnalyzePhilosophers: the 4-seat dining philosophers net is finite
+// and contains the classic all-hold-left deadlock.
+func TestAnalyzePhilosophers(t *testing.T) {
+	a, err := Analyze(parseFixture(t, "philosophers-4.pnml"), AnalyzeOptions{MaxMarkings: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reach.Truncated {
+		t.Fatal("philosophers-4 should explore to completion")
+	}
+	if a.Deadlocks == 0 {
+		t.Error("philosophers-4 must expose the circular-wait deadlock")
+	}
+	for p, b := range a.Bounds {
+		if b > 1 {
+			t.Errorf("place %s bound %d, want <= 1 (the net is safe)", a.Net.Places[p].Name, b)
+		}
+	}
+}
+
+// TestAnalyzeProducerConsumer: the 3-to-2 multirate net conserves
+// credit+buffer, so the buffer's guaranteed bound is the credit supply.
+func TestAnalyzeProducerConsumer(t *testing.T) {
+	a, err := Analyze(parseFixture(t, "producer-consumer-32.pnml"), AnalyzeOptions{MaxMarkings: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reach.Truncated {
+		t.Fatal("producer-consumer should explore to completion")
+	}
+	buf := a.Net.PlaceByName("buffer")
+	if buf == nil {
+		t.Fatal("no buffer place")
+	}
+	if got := a.Bounds[buf.ID]; got != 6 {
+		t.Errorf("buffer bound %d, want 6 (credit conservation)", got)
+	}
+}
+
+// TestAnalyzeUnboundedTruncates: the sourced counter has no finite
+// state space; the token cap must cut it off with Truncated set — the
+// unboundedness witness.
+func TestAnalyzeUnboundedTruncates(t *testing.T) {
+	a, err := Analyze(parseFixture(t, "unbounded-counter.pnml"), AnalyzeOptions{MaxMarkings: 100000, MaxTokensPerPlace: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Reach.Truncated {
+		t.Fatal("unbounded-counter under a token cap must report truncation")
+	}
+	c := a.Net.PlaceByName("c")
+	if c == nil {
+		t.Fatal("no place c")
+	}
+	if got := a.Bounds[c.ID]; got != 6 {
+		t.Errorf("capped bound %d, want the cap 6", got)
+	}
+}
+
+// TestAnalyzeMultirateBounds: weighted-arc conservation on the 7/5/12
+// burst net — the pool never exceeds its initial 35 tokens.
+func TestAnalyzeMultirateBounds(t *testing.T) {
+	a, err := Analyze(parseFixture(t, "multirate-burst.pnml"), AnalyzeOptions{MaxMarkings: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reach.Truncated {
+		t.Fatal("multirate-burst should explore to completion")
+	}
+	pool := a.Net.PlaceByName("pool")
+	if got := a.Bounds[pool.ID]; got != 35 {
+		t.Errorf("pool bound %d, want 35", got)
+	}
+}
+
+// TestParseLenient: constructs several tools emit — bare character
+// data in labels, namespace prefixes, processing instructions, entity
+// escapes in names — import cleanly.
+func TestParseLenient(t *testing.T) {
+	const doc = `<?xml version="1.0"?>
+<!-- emitted by a hypothetical tool -->
+<ns:pnml xmlns:ns="http://www.pnml.org/version-2009/grammar/pnml">
+ <ns:net id="n" type="http://www.pnml.org/version-2009/grammar/ptnet">
+  <ns:place id="p1"><ns:initialMarking> 2 </ns:initialMarking></ns:place>
+  <ns:place id="p2"><ns:name><ns:text>a &lt;named&gt; place</ns:text></ns:name></ns:place>
+  <ns:transition id="t1"/>
+  <ns:arc id="a1" source="p1" target="t1"><ns:inscription>2</ns:inscription></ns:arc>
+  <ns:arc id="a2" source="t1" target="p2"/>
+ </ns:net>
+</ns:pnml>`
+	n, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "pnml" {
+		t.Errorf("unnamed net = %q, want fallback \"pnml\"", n.Name)
+	}
+	if n.Places[0].Name != "p1" || n.Places[0].Initial != 2 {
+		t.Errorf("p1 = %q init %d, want id fallback and marking 2", n.Places[0].Name, n.Places[0].Initial)
+	}
+	if n.Places[1].Name != "a <named> place" {
+		t.Errorf("p2 name %q: entity decoding lost", n.Places[1].Name)
+	}
+	if w := n.Transitions[0].Weight(0); w != 2 {
+		t.Errorf("arc weight %d, want 2", w)
+	}
+}
+
+// TestParseAccumulatesDuplicateArcs: two PNML arcs over the same
+// (place, transition) pair accumulate weight, matching petri.AddArc.
+func TestParseAccumulatesDuplicateArcs(t *testing.T) {
+	const doc = `<pnml><net id="n" type="ptnet">
+ <place id="p"><initialMarking><text>4</text></initialMarking></place>
+ <transition id="t"/>
+ <arc id="a1" source="p" target="t"/>
+ <arc id="a2" source="p" target="t"><inscription><text>2</text></inscription></arc>
+</net></pnml>`
+	n, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := n.Transitions[0].Weight(0); w != 3 {
+		t.Errorf("accumulated weight %d, want 3", w)
+	}
+}
